@@ -1,0 +1,63 @@
+"""Ablation — phantom congestion (stale credit information).
+
+Section 2.2 attributes part of the Adaptive mode's noise to *phantom
+congestion*: far-end congestion information carried by credits arrives late,
+so routers divert packets to non-minimal paths even after the congestion has
+drained.  The simulator exposes the staleness directly
+(``RoutingConfig.credit_info_delay``); this ablation measures how the
+fraction of needlessly diverted packets grows with the delay.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import Table
+from repro.network.network import Network
+from repro.routing.modes import RoutingMode
+
+
+def _diverted_fraction(scale, delay: int) -> float:
+    """Non-minimal fraction of probe traffic sent after congestion drained."""
+    config = scale.simulation_config().with_routing(credit_info_delay=delay)
+    network = Network(config)
+    nodes_per_router = config.topology.nodes_per_router
+    # Phase 1: a burst congests the minimal path between routers 0 and 1.
+    network.send(0, nodes_per_router, scale.scaled_size(128 * 1024))
+    network.run(until=30_000)
+    # Phase 2: the burst has mostly drained; probes should route minimally,
+    # but stale credit information still reports the old congestion.
+    probes = []
+    for slot in range(1, nodes_per_router):
+        probes.append(
+            network.send(
+                slot,
+                nodes_per_router + slot,
+                scale.scaled_size(16 * 1024),
+                routing_mode=RoutingMode.ADAPTIVE_0,
+            )
+        )
+    network.run_until_idle()
+    nonminimal = sum(m.nonminimal_packets for m in probes)
+    total = sum(m.minimal_packets + m.nonminimal_packets for m in probes)
+    return nonminimal / total
+
+
+def run_phantom_ablation(scale, delays=(0, 1_000, 10_000, 50_000)):
+    """Needlessly-diverted fraction as a function of the information delay."""
+    return {delay: _diverted_fraction(scale, delay) for delay in delays}
+
+
+def test_ablation_phantom_congestion(benchmark, scale, results_dir):
+    """Stale congestion information increases needless non-minimal routing."""
+    fractions = benchmark.pedantic(
+        run_phantom_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    table = Table(
+        title="Ablation — phantom congestion: diverted traffic vs. credit-info delay",
+        columns=["credit info delay (cycles)", "non-minimal fraction of probes"],
+    )
+    for delay, fraction in fractions.items():
+        table.add_row(delay, fraction)
+    emit(results_dir, "ablation_phantom", table.render())
+    delays = sorted(fractions)
+    assert fractions[delays[-1]] >= fractions[delays[0]]

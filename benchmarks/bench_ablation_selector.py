@@ -1,0 +1,85 @@
+"""Ablation — sensitivity of Algorithm 1 to its tunables.
+
+Two knobs are swept:
+
+* the cumulative-size threshold below which messages default to High Bias
+  (the paper uses 4 KiB);
+* the λ/σ scaling factors used to estimate the not-currently-measured
+  operating point.
+
+The metric is the median time of an inter-group ping-pong driven through the
+:class:`~repro.core.runtime.AppAwareRuntime`, normalized to the best static
+mode for the same allocation — i.e. "how much of the achievable gain does
+Algorithm 1 capture under each parameterization".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.allocation.policies import allocate_inter_group_pair
+from repro.analysis.reporting import Table
+from repro.analysis.stats import median
+from repro.core.policy import StaticRoutingPolicy
+from repro.core.selector import SelectorParams
+from repro.core.runtime import AppAwareRuntime
+from repro.network.network import Network
+from repro.routing.modes import RoutingMode
+
+
+def _pingpong_median(scale, runtime_factory, repetitions=10, size=32 * 1024):
+    """Median round-trip time of a runtime-driven ping-pong."""
+    config = scale.simulation_config()
+    network = Network(config)
+    pair = allocate_inter_group_pair(config.topology)
+    runtime = runtime_factory(network, pair[0])
+    times = []
+    size = scale.scaled_size(size)
+    for _ in range(repetitions):
+        start = network.sim.now
+        done = []
+        runtime.send(pair[1], size, on_acked=lambda m: done.append(m))
+        while not done and network.sim.step():
+            pass
+        times.append(network.sim.now - start)
+    return median(times)
+
+
+def run_selector_ablation(scale):
+    """Median ping-pong time for static modes and selector variants."""
+    results = {}
+    for label, mode in (("static-Adaptive", RoutingMode.ADAPTIVE_0),
+                        ("static-HighBias", RoutingMode.ADAPTIVE_3)):
+        results[label] = _pingpong_median(
+            scale,
+            lambda net, node, mode=mode: AppAwareRuntime(
+                net, node, policy=StaticRoutingPolicy(mode)
+            ),
+        )
+    for label, params in (
+        ("appaware-default", SelectorParams()),
+        ("appaware-threshold-0", SelectorParams(threshold_bytes=0)),
+        ("appaware-threshold-64KiB", SelectorParams(threshold_bytes=64 * 1024)),
+        ("appaware-lambda-1.0", SelectorParams(lambda_ad=1.0, sigma_ad=1.0)),
+        ("appaware-aggressive", SelectorParams(lambda_ad=0.5, sigma_ad=3.0)),
+    ):
+        results[label] = _pingpong_median(
+            scale,
+            lambda net, node, params=params: AppAwareRuntime(
+                net, node, selector_params=params
+            ),
+        )
+    return results
+
+
+def test_ablation_selector_sensitivity(benchmark, scale, results_dir):
+    """Algorithm 1 stays within a reasonable factor of the best static mode."""
+    results = benchmark.pedantic(run_selector_ablation, args=(scale,), rounds=1, iterations=1)
+    best_static = min(results["static-Adaptive"], results["static-HighBias"])
+    table = Table(
+        title="Ablation — Algorithm 1 sensitivity (inter-group ping-pong)",
+        columns=["configuration", "median time (cycles)", "vs. best static"],
+    )
+    for label, value in results.items():
+        table.add_row(label, value, value / best_static)
+    emit(results_dir, "ablation_selector", table.render())
+    assert results["appaware-default"] <= best_static * 1.5

@@ -1,0 +1,16 @@
+"""Figure 10 — application proxies under the three routing configurations."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure10
+
+
+def test_figure10_applications(benchmark, scale, results_dir):
+    """Regenerate the Figure 10 table (all application proxies + FFT contrast)."""
+    result = benchmark.pedantic(figure10.run, args=(scale,), rounds=1, iterations=1)
+    report = figure10.report(result)
+    emit(results_dir, "figure10", report)
+    assert set(result.comparisons) == set(figure10.APPLICATIONS)
+    # The FFT experiment is repeated on a smaller allocation.
+    assert result.fft_small is not None

@@ -1,0 +1,18 @@
+"""Figure 3 — ping-pong across allocations (median/IQR/outliers vs. placement)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure3
+
+
+def test_figure3_allocations(benchmark, scale, results_dir):
+    """Regenerate the allocation sweep of Figure 3."""
+    result = benchmark.pedantic(figure3.run, args=(scale,), rounds=1, iterations=1)
+    report = figure3.report(result)
+    emit(results_dir, "figure3", report)
+    medians = result.medians()
+    # The paper's headline observation: inter-group placement is slower and
+    # noisier than same-blade placement.
+    assert medians["inter-groups"] > medians["inter-nodes"]
+    assert result.qcds()["inter-groups"] >= result.qcds()["inter-nodes"]

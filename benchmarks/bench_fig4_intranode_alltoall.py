@@ -1,0 +1,16 @@
+"""Figure 4 — intra-node Alltoall variability without any network involvement."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure4
+
+
+def test_figure4_intranode_alltoall(benchmark, scale, results_dir):
+    """Regenerate Figure 4."""
+    result = benchmark.pedantic(figure4.run, args=(scale,), rounds=1, iterations=1)
+    report = figure4.report(result)
+    emit(results_dir, "figure4", report)
+    # Even with zero network traffic, host-side contention and OS noise make
+    # the collective's execution time vary.
+    assert any(qcd > 0.0 for qcd in result.qcds().values())

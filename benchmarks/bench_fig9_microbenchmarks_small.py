@@ -1,0 +1,15 @@
+"""Figure 9 — microbenchmark suite on the small allocation (Cori-like)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure9
+
+
+def test_figure9_microbenchmarks_small(benchmark, scale, results_dir):
+    """Regenerate the Figure 9 matrix on the small allocation."""
+    result = benchmark.pedantic(figure9.run, args=(scale,), rounds=1, iterations=1)
+    report = figure9.report(result)
+    emit(results_dir, "figure9", report)
+    assert result.job_nodes == scale.small_job_nodes
+    assert result.rows()

@@ -1,0 +1,16 @@
+"""Section 2.4 — performance-model validation (correlation vs. measurements)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import model_validation
+
+
+def test_model_validation(benchmark, scale, results_dir):
+    """Regenerate the Equation-2 validation (paper: ≈ 79 % correlation)."""
+    result = benchmark.pedantic(
+        model_validation.run, args=(scale,), rounds=1, iterations=1
+    )
+    report = model_validation.report(result)
+    emit(results_dir, "model_validation", report)
+    assert result.correlation() > 0.5

@@ -1,0 +1,17 @@
+"""Table 1 — idle application vs. observed flits/stalls (correlation ≠ causation)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import table1
+
+
+def test_table1_idle_counters(benchmark, scale, results_dir):
+    """Regenerate Table 1."""
+    result = benchmark.pedantic(table1.run, args=(scale,), rounds=1, iterations=1)
+    report = table1.report(result)
+    emit(results_dir, "table1", report)
+    # Doubling the (idle) observation time roughly doubles the observed flits…
+    assert 1.2 <= result.flit_ratio() <= 2.8
+    # …while the per-unit rate stays roughly constant once normalized.
+    assert 0.5 <= result.normalized_ratio() <= 1.5

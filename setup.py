@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that legacy editable installs (``pip install -e . --no-use-pep517``
+or ``python setup.py develop``) work on systems without the ``wheel``
+package; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

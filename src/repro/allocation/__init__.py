@@ -1,0 +1,37 @@
+"""Node allocation policies.
+
+Section 3.1 of the paper shows that the process-to-node allocation dominates
+both the median and the variance of communication performance, so the
+experiments must control it explicitly.  This package provides the allocation
+shapes used throughout the evaluation:
+
+* the four ping-pong placements of Figure 3 (same blade, different blades of
+  one chassis, different chassis of one group, different groups);
+* contiguous and scattered multi-group allocations for the larger runs
+  (Figures 8–10), mimicking how a batch scheduler fragments a job over a
+  production Dragonfly machine.
+"""
+
+from repro.allocation.job import JobAllocation
+from repro.allocation.policies import (
+    AllocationPolicy,
+    allocate_contiguous,
+    allocate_inter_blade_pair,
+    allocate_inter_chassis_pair,
+    allocate_inter_group_pair,
+    allocate_intra_blade_pair,
+    allocate_round_robin_groups,
+    allocate_scattered,
+)
+
+__all__ = [
+    "JobAllocation",
+    "AllocationPolicy",
+    "allocate_contiguous",
+    "allocate_scattered",
+    "allocate_round_robin_groups",
+    "allocate_intra_blade_pair",
+    "allocate_inter_blade_pair",
+    "allocate_inter_chassis_pair",
+    "allocate_inter_group_pair",
+]

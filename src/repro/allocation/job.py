@@ -1,0 +1,81 @@
+"""Description of a job's node allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.config import TopologyConfig
+from repro.topology.geometry import NodeCoord, group_of_node, router_of_node
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """An ordered list of nodes assigned to a job (rank ``i`` → ``nodes[i]``)."""
+
+    nodes: tuple
+    name: str = "allocation"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("an allocation needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("allocation contains duplicate nodes")
+
+    @classmethod
+    def of(cls, nodes: Sequence[int], name: str = "allocation") -> "JobAllocation":
+        """Build an allocation from any node sequence."""
+        return cls(nodes=tuple(int(n) for n in nodes), name=name)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index):
+        return self.nodes[index]
+
+    # -- topology-aware summaries --------------------------------------------
+
+    def routers(self, topo: TopologyConfig) -> List[int]:
+        """Distinct routers (blades) spanned by this allocation."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for node in self.nodes:
+            router = router_of_node(node, topo)
+            if router not in seen:
+                seen.add(router)
+                out.append(router)
+        return out
+
+    def groups(self, topo: TopologyConfig) -> List[int]:
+        """Distinct Dragonfly groups spanned by this allocation."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for node in self.nodes:
+            group = group_of_node(node, topo)
+            if group not in seen:
+                seen.add(group)
+                out.append(group)
+        return out
+
+    def span_summary(self, topo: TopologyConfig) -> dict:
+        """Counts used when reporting an experiment's allocation (cf. §5.1)."""
+        return {
+            "nodes": len(self.nodes),
+            "routers": len(self.routers(topo)),
+            "groups": len(self.groups(topo)),
+        }
+
+    def describe(self, topo: TopologyConfig) -> str:
+        """Human-readable one-liner, e.g. ``scattered: 64 nodes / 33 routers / 5 groups``."""
+        summary = self.span_summary(topo)
+        return (
+            f"{self.name}: {summary['nodes']} nodes / "
+            f"{summary['routers']} routers / {summary['groups']} groups"
+        )
+
+    def coordinates(self, topo: TopologyConfig) -> List[NodeCoord]:
+        """Node coordinates, mainly for tests and pretty-printing."""
+        return [NodeCoord.from_flat(node, topo) for node in self.nodes]

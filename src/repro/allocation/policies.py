@@ -1,0 +1,189 @@
+"""Allocation policy functions.
+
+Each function returns a :class:`~repro.allocation.job.JobAllocation`.  The
+pair allocators reproduce the four placements of Figure 3; the contiguous,
+round-robin and scattered allocators produce the job shapes of the larger
+experiments (the paper's 1024-node Piz Daint job spanned 257 routers over
+6 groups and the 64-node Cori job 33 routers over 5 groups — i.e. jobs are
+fragmented over many routers and several groups).
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.config import TopologyConfig
+from repro.allocation.job import JobAllocation
+from repro.topology.geometry import NodeCoord, RouterCoord
+
+
+class AllocationPolicy(str, Enum):
+    """Named allocation strategies used by the experiment harness."""
+
+    CONTIGUOUS = "contiguous"
+    ROUND_ROBIN_GROUPS = "round_robin_groups"
+    SCATTERED = "scattered"
+
+
+# -- pair allocations (Figure 3) -----------------------------------------------
+
+
+def allocate_intra_blade_pair(topo: TopologyConfig, blade_router: int = 0) -> JobAllocation:
+    """Two nodes on the same blade (the "Inter-Nodes" case of Figure 3)."""
+    if topo.nodes_per_router < 2:
+        raise ValueError("need at least two nodes per router for an intra-blade pair")
+    base = blade_router * topo.nodes_per_router
+    return JobAllocation.of([base, base + 1], name="inter-nodes")
+
+
+def allocate_inter_blade_pair(topo: TopologyConfig, chassis: int = 0) -> JobAllocation:
+    """Two nodes on different blades of the same chassis ("Inter-Blades")."""
+    if topo.blades_per_chassis < 2:
+        raise ValueError("need at least two blades per chassis")
+    router_a = RouterCoord(0, chassis, 0).flat(topo)
+    router_b = RouterCoord(0, chassis, 1).flat(topo)
+    return JobAllocation.of(
+        [router_a * topo.nodes_per_router, router_b * topo.nodes_per_router],
+        name="inter-blades",
+    )
+
+
+def allocate_inter_chassis_pair(topo: TopologyConfig, group: int = 0) -> JobAllocation:
+    """Two nodes on different chassis of the same group ("Inter-Chassis").
+
+    The two routers are chosen on different chassis *and* different blade
+    slots, so the minimal path needs two hops (the interesting case).
+    """
+    if topo.chassis_per_group < 2:
+        raise ValueError("need at least two chassis per group")
+    router_a = RouterCoord(group, 0, 0).flat(topo)
+    blade_b = 1 if topo.blades_per_chassis > 1 else 0
+    router_b = RouterCoord(group, 1, blade_b).flat(topo)
+    return JobAllocation.of(
+        [router_a * topo.nodes_per_router, router_b * topo.nodes_per_router],
+        name="inter-chassis",
+    )
+
+
+def allocate_inter_group_pair(
+    topo: TopologyConfig, group_a: int = 0, group_b: Optional[int] = None
+) -> JobAllocation:
+    """Two nodes in different groups ("Inter-Groups")."""
+    if topo.num_groups < 2:
+        raise ValueError("need at least two groups")
+    if group_b is None:
+        group_b = (group_a + 1) % topo.num_groups
+    if group_a == group_b:
+        raise ValueError("groups must differ")
+    router_a = RouterCoord(group_a, 0, 0).flat(topo)
+    # Pick a router in the destination group that does not share the blade
+    # slot/chassis pattern, so the minimal path is the general 3–5 hop case.
+    chassis_b = topo.chassis_per_group - 1
+    blade_b = topo.blades_per_chassis - 1
+    router_b = RouterCoord(group_b, chassis_b, blade_b).flat(topo)
+    return JobAllocation.of(
+        [router_a * topo.nodes_per_router, router_b * topo.nodes_per_router],
+        name="inter-groups",
+    )
+
+
+def figure3_allocations(topo: TopologyConfig) -> List[JobAllocation]:
+    """The four placements compared in Figure 3, in the paper's order."""
+    return [
+        allocate_intra_blade_pair(topo),
+        allocate_inter_blade_pair(topo),
+        allocate_inter_chassis_pair(topo),
+        allocate_inter_group_pair(topo),
+    ]
+
+
+# -- multi-node allocations -------------------------------------------------------
+
+
+def allocate_contiguous(
+    topo: TopologyConfig, num_nodes: int, first_node: int = 0, name: str = "contiguous"
+) -> JobAllocation:
+    """``num_nodes`` consecutive nodes starting at ``first_node``."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if first_node + num_nodes > topo.num_nodes:
+        raise ValueError(
+            f"allocation of {num_nodes} nodes starting at {first_node} exceeds the "
+            f"{topo.num_nodes}-node system"
+        )
+    return JobAllocation.of(range(first_node, first_node + num_nodes), name=name)
+
+
+def allocate_round_robin_groups(
+    topo: TopologyConfig, num_nodes: int, name: str = "round-robin-groups"
+) -> JobAllocation:
+    """Spread nodes over groups round-robin (one node per group per turn).
+
+    This is the "fragmented over many groups" shape the batch schedulers of
+    Piz Daint and Cori produce for large jobs.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if num_nodes > topo.num_nodes:
+        raise ValueError("not enough nodes in the system")
+    nodes: List[int] = []
+    per_group = topo.routers_per_group * topo.nodes_per_router
+    offset = 0
+    while len(nodes) < num_nodes:
+        for group in range(topo.num_groups):
+            if len(nodes) >= num_nodes:
+                break
+            node = group * per_group + offset
+            if offset < per_group:
+                nodes.append(node)
+        offset += 1
+        if offset >= per_group:
+            break
+    if len(nodes) < num_nodes:
+        raise ValueError("system too small for the requested allocation")
+    return JobAllocation.of(nodes, name=name)
+
+
+def allocate_scattered(
+    topo: TopologyConfig,
+    num_nodes: int,
+    rng: random.Random,
+    name: str = "scattered",
+    exclude: Sequence[int] = (),
+) -> JobAllocation:
+    """A uniformly random allocation (what a busy scheduler effectively does).
+
+    ``exclude`` lists nodes already taken by other jobs so that concurrently
+    allocated jobs never share nodes (they still share the network, which is
+    the whole point).
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    available = [n for n in range(topo.num_nodes) if n not in set(exclude)]
+    if num_nodes > len(available):
+        raise ValueError(
+            f"cannot scatter {num_nodes} nodes, only {len(available)} are free"
+        )
+    nodes = rng.sample(available, num_nodes)
+    return JobAllocation.of(nodes, name=name)
+
+
+def allocate(
+    policy: AllocationPolicy,
+    topo: TopologyConfig,
+    num_nodes: int,
+    rng: Optional[random.Random] = None,
+    exclude: Sequence[int] = (),
+) -> JobAllocation:
+    """Dispatch on an :class:`AllocationPolicy` value."""
+    if policy is AllocationPolicy.CONTIGUOUS:
+        return allocate_contiguous(topo, num_nodes)
+    if policy is AllocationPolicy.ROUND_ROBIN_GROUPS:
+        return allocate_round_robin_groups(topo, num_nodes)
+    if policy is AllocationPolicy.SCATTERED:
+        if rng is None:
+            raise ValueError("scattered allocation requires an RNG")
+        return allocate_scattered(topo, num_nodes, rng, exclude=exclude)
+    raise ValueError(f"unknown allocation policy {policy}")

@@ -1,0 +1,35 @@
+"""Statistics and noise-estimation helpers (Section 3 methodology)."""
+
+from repro.analysis.stats import (
+    BoxplotStats,
+    iqr,
+    median,
+    median_confidence_interval,
+    quartile_coefficient_of_dispersion,
+    quartiles,
+    summarize,
+)
+from repro.analysis.noise_estimation import (
+    NoiseEstimate,
+    counters_per_second,
+    estimate_noise_from_counters,
+    relative_slowdown,
+)
+from repro.analysis.reporting import Table, format_table, normalize_series
+
+__all__ = [
+    "BoxplotStats",
+    "median",
+    "quartiles",
+    "iqr",
+    "quartile_coefficient_of_dispersion",
+    "median_confidence_interval",
+    "summarize",
+    "NoiseEstimate",
+    "counters_per_second",
+    "estimate_noise_from_counters",
+    "relative_slowdown",
+    "Table",
+    "format_table",
+    "normalize_series",
+]

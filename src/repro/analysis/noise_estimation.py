@@ -1,0 +1,104 @@
+"""Network-noise estimation following the guidelines of Section 3.
+
+The section derives three rules, each of which corresponds to a helper here:
+
+1. *Fix the allocation* (§3.1) — comparisons are only meaningful inside one
+   allocation; the experiment harness enforces this by construction, and
+   :func:`relative_slowdown` always normalizes within one allocation's data.
+2. *Correlation is not causation* (§3.2) — raw counter totals grow with the
+   observation interval; :func:`counters_per_second` normalizes counters by
+   the interval, and Table 1 demonstrates why that matters.
+3. *Communication-time variation is not network noise* (§3.3) — only
+   counters that measure network-side delays (packet latency, stall cycles)
+   should be attributed to the network; :func:`estimate_noise_from_counters`
+   builds the network-side estimate from those counters alone, via the
+   performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import NicConfig
+from repro.core.perf_model import estimate_transmission_cycles
+from repro.network.counters import CounterSnapshot
+from repro.analysis.stats import quartile_coefficient_of_dispersion
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Variability attributed to the network vs. observed end-to-end."""
+
+    #: QCD of the end-to-end (application-observed) times.
+    execution_time_qcd: float
+    #: QCD of the network-side estimate (from latency/stall counters only).
+    network_qcd: float
+
+    @property
+    def overestimation_factor(self) -> float:
+        """How much larger the naive estimate is than the network-only one."""
+        if self.network_qcd == 0:
+            return float("inf") if self.execution_time_qcd > 0 else 1.0
+        return self.execution_time_qcd / self.network_qcd
+
+
+def counters_per_second(
+    snapshot: CounterSnapshot, interval_cycles: int, nic: NicConfig
+) -> dict:
+    """Normalize counters by the observation interval (§3.2).
+
+    Returns rates per (simulated) second, so that a longer observation
+    window does not masquerade as higher traffic.
+    """
+    if interval_cycles <= 0:
+        raise ValueError("interval must be positive")
+    seconds = interval_cycles / nic.clock_hz
+    return {
+        "request_flits_per_s": snapshot.request_flits / seconds,
+        "stalled_cycles_per_s": snapshot.request_flits_stalled_cycles / seconds,
+        "request_packets_per_s": snapshot.request_packets / seconds,
+    }
+
+
+def estimate_noise_from_counters(
+    message_size_bytes: int,
+    snapshots: Sequence[CounterSnapshot],
+    nic: NicConfig,
+) -> float:
+    """QCD of the *network-side* transmission-time estimates (§3.3).
+
+    Every snapshot (one per repetition of a communication) is converted into
+    an estimated transmission time through Equation 2 — which only depends on
+    latency and stalls, i.e. on quantities the host cannot influence — and the
+    QCD of those estimates is the network-noise figure.
+    """
+    if not snapshots:
+        raise ValueError("need at least one counter snapshot")
+    estimates = [
+        estimate_transmission_cycles(
+            message_size_bytes, snap.avg_packet_latency, snap.stall_ratio, nic
+        )
+        for snap in snapshots
+    ]
+    return quartile_coefficient_of_dispersion(estimates)
+
+
+def noise_estimate(
+    execution_times: Sequence[float],
+    message_size_bytes: int,
+    snapshots: Sequence[CounterSnapshot],
+    nic: NicConfig,
+) -> NoiseEstimate:
+    """Compare end-to-end variability with the network-only variability."""
+    return NoiseEstimate(
+        execution_time_qcd=quartile_coefficient_of_dispersion(execution_times),
+        network_qcd=estimate_noise_from_counters(message_size_bytes, snapshots, nic),
+    )
+
+
+def relative_slowdown(times: Sequence[float], baseline_median: float) -> list:
+    """Times normalized to a baseline median (the y-axis of Figures 8–10)."""
+    if baseline_median <= 0:
+        raise ValueError("baseline median must be positive")
+    return [t / baseline_median for t in times]

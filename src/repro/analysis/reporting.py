@@ -1,0 +1,98 @@
+"""Plain-text reporting of experiment results (tables and normalized series).
+
+The benchmark harness prints the same rows/series the paper's figures show;
+no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.stats import summarize
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table with aligned text rendering."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Monospace rendering with a title and column separators."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a title, header and rows as an aligned text table."""
+    header = [str(c) for c in columns]
+    text_rows = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * max(len(title), sum(widths) + 3 * (len(widths) - 1))]
+    lines.append("   ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in text_rows:
+        lines.append("   ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def normalize_series(
+    series: Mapping[str, Sequence[float]], baseline: str
+) -> Dict[str, List[float]]:
+    """Normalize each series by the median of the baseline series.
+
+    This is exactly the normalization of Figures 8–10: values below 1 mean
+    "faster than the median of the Default routing".
+    """
+    if baseline not in series:
+        raise KeyError(f"baseline series {baseline!r} not present")
+    baseline_median = summarize(series[baseline]).median
+    if baseline_median <= 0:
+        raise ValueError("baseline median must be positive")
+    return {
+        name: [value / baseline_median for value in values]
+        for name, values in series.items()
+    }
+
+
+def boxplot_row(label: str, values: Sequence[float]) -> List[object]:
+    """A row of box-plot statistics for :class:`Table` output."""
+    stats = summarize(values)
+    return [
+        label,
+        stats.count,
+        stats.median,
+        stats.mean,
+        stats.q1,
+        stats.q3,
+        stats.qcd,
+        len(stats.outliers),
+    ]
+
+
+BOXPLOT_COLUMNS = ["case", "n", "median", "mean", "q1", "q3", "qcd", "outliers"]

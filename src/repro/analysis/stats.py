@@ -1,0 +1,137 @@
+"""Order statistics used throughout the paper's figures.
+
+The paper reports box plots (median, inter-quartile range, outliers), the
+95 % confidence interval of the median (the "notch"), and the Quartile
+Coefficient of Dispersion (QCD) as its variability measure::
+
+    QCD = (Q3 - Q1) / (Q3 + Q1)
+
+Implemented here from first principles (no SciPy dependency) so the library
+remains importable with only NumPy installed; values follow the same linear
+interpolation convention as ``numpy.percentile``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def _check_nonempty(values: Sequence[float]) -> List[float]:
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("statistics of an empty sample are undefined")
+    return data
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    data = sorted(_check_nonempty(values))
+    if len(data) == 1:
+        return data[0]
+    position = (len(data) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return data[int(position)]
+    weight = position - lower
+    return data[lower] * (1.0 - weight) + data[upper] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median."""
+    return percentile(values, 50.0)
+
+
+def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """``(Q1, median, Q3)``."""
+    return percentile(values, 25.0), percentile(values, 50.0), percentile(values, 75.0)
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Inter-quartile range ``Q3 - Q1``."""
+    q1, _, q3 = quartiles(values)
+    return q3 - q1
+
+
+def quartile_coefficient_of_dispersion(values: Sequence[float]) -> float:
+    """QCD = (Q3 - Q1) / (Q3 + Q1); 0 for a degenerate (all-zero) sample."""
+    q1, _, q3 = quartiles(values)
+    denominator = q3 + q1
+    if denominator == 0:
+        return 0.0
+    return (q3 - q1) / denominator
+
+
+def median_confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """95 % confidence interval of the median (boxplot notch).
+
+    Uses the standard notch formula ``median ± 1.57 · IQR / sqrt(n)``
+    (McGill, Tukey & Larsen 1978), the same convention as the paper's plots.
+    """
+    data = _check_nonempty(values)
+    m = median(data)
+    half_width = 1.57 * iqr(data) / math.sqrt(len(data))
+    return m - half_width, m + half_width
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Summary of a sample in the shape of the paper's box plots."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    minimum: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: Tuple[float, ...]
+    qcd: float
+    notch_low: float
+    notch_high: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+    def notch_width_relative(self) -> float:
+        """Notch width as a fraction of the median (paper: mostly < 5 %)."""
+        if self.median == 0:
+            return 0.0
+        return (self.notch_high - self.notch_low) / self.median
+
+
+def summarize(values: Sequence[float]) -> BoxplotStats:
+    """Full box-plot summary with 1.5·IQR whiskers and outliers."""
+    data = sorted(_check_nonempty(values))
+    q1, med, q3 = quartiles(data)
+    spread = q3 - q1
+    low_fence = q1 - 1.5 * spread
+    high_fence = q3 + 1.5 * spread
+    inside = [v for v in data if low_fence <= v <= high_fence]
+    outliers = tuple(v for v in data if v < low_fence or v > high_fence)
+    whisker_low = min(inside) if inside else q1
+    whisker_high = max(inside) if inside else q3
+    notch_low, notch_high = median_confidence_interval(data)
+    return BoxplotStats(
+        count=len(data),
+        mean=sum(data) / len(data),
+        median=med,
+        q1=q1,
+        q3=q3,
+        minimum=data[0],
+        maximum=data[-1],
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+        qcd=quartile_coefficient_of_dispersion(data),
+        notch_low=notch_low,
+        notch_high=notch_high,
+    )

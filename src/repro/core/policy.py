@@ -1,0 +1,146 @@
+"""Per-rank routing policies.
+
+A :class:`RoutingPolicy` answers one question — *which routing mode should
+the next message use?* — and receives counter feedback after each send.  The
+MPI layer holds one policy instance per rank, which mirrors how the paper's
+library is loaded per process via ``LD_PRELOAD``.
+
+Three policies are provided:
+
+* :func:`default_policy` — the system default: ``ADAPTIVE_0`` for everything,
+  ``ADAPTIVE_1`` (Increasingly Minimal Bias) for Alltoall traffic.  This is
+  the "Default" series of Figures 8–10.
+* :func:`high_bias_policy` — ``ADAPTIVE_3`` for everything: the "Adaptive
+  with High Bias" series.
+* :class:`ApplicationAwarePolicy` — Algorithm 1: the "Application-Aware"
+  series.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.config import NicConfig
+from repro.core.selector import AppAwareSelector, SelectorParams
+from repro.network.counters import CounterSnapshot
+from repro.routing.modes import RoutingMode
+
+
+class RoutingPolicy(ABC):
+    """Strategy deciding the routing mode of each outgoing message."""
+
+    @abstractmethod
+    def mode_for(
+        self,
+        size_bytes: int,
+        dst_node: int,
+        collective: Optional[str] = None,
+    ) -> RoutingMode:
+        """Routing mode for the next message.
+
+        ``collective`` names the MPI operation generating the traffic (e.g.
+        ``"alltoall"``) or is ``None`` for point-to-point sends.
+        """
+
+    def observe(self, counters: CounterSnapshot, mode: RoutingMode) -> None:
+        """Feed back the NIC counters measured for a completed message."""
+        # Static policies ignore feedback.
+
+    def default_traffic_fraction(self) -> float:
+        """Fraction of bytes sent with the Default family (for reporting)."""
+        return 1.0
+
+    def describe(self) -> str:
+        """Short label used by the experiment harness."""
+        return type(self).__name__
+
+
+class StaticRoutingPolicy(RoutingPolicy):
+    """Always use one mode (optionally a different one for Alltoall)."""
+
+    def __init__(
+        self,
+        mode: RoutingMode,
+        alltoall_mode: Optional[RoutingMode] = None,
+        label: Optional[str] = None,
+    ):
+        self.mode = mode
+        self.alltoall_mode = alltoall_mode or mode
+        self._label = label
+        self._bytes_default = 0
+        self._bytes_other = 0
+
+    def mode_for(
+        self,
+        size_bytes: int,
+        dst_node: int,
+        collective: Optional[str] = None,
+    ) -> RoutingMode:
+        mode = self.alltoall_mode if collective == "alltoall" else self.mode
+        if mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_1):
+            self._bytes_default += size_bytes
+        else:
+            self._bytes_other += size_bytes
+        return mode
+
+    def default_traffic_fraction(self) -> float:
+        total = self._bytes_default + self._bytes_other
+        if total == 0:
+            return 1.0 if self.mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_1) else 0.0
+        return self._bytes_default / total
+
+    def describe(self) -> str:
+        if self._label:
+            return self._label
+        return f"Static[{self.mode.value}]"
+
+
+def default_policy() -> StaticRoutingPolicy:
+    """The "Default" configuration of the evaluation section."""
+    return StaticRoutingPolicy(
+        RoutingMode.ADAPTIVE_0,
+        alltoall_mode=RoutingMode.ADAPTIVE_1,
+        label="Default",
+    )
+
+
+def high_bias_policy() -> StaticRoutingPolicy:
+    """The "Adaptive with High Bias" configuration."""
+    return StaticRoutingPolicy(RoutingMode.ADAPTIVE_3, label="HighBias")
+
+
+class ApplicationAwarePolicy(RoutingPolicy):
+    """Algorithm 1 wrapped as a routing policy (one selector per rank)."""
+
+    def __init__(
+        self,
+        nic_config: NicConfig,
+        params: Optional[SelectorParams] = None,
+    ):
+        self.selector = AppAwareSelector(nic_config, params)
+
+    def mode_for(
+        self,
+        size_bytes: int,
+        dst_node: int,
+        collective: Optional[str] = None,
+    ) -> RoutingMode:
+        return self.selector.select_routing(
+            size_bytes, is_alltoall=(collective == "alltoall")
+        )
+
+    def observe(self, counters: CounterSnapshot, mode: RoutingMode) -> None:
+        if counters.responses_received == 0:
+            return
+        self.selector.observe(
+            latency=counters.avg_packet_latency,
+            stall_ratio=counters.stall_ratio,
+            mode=mode,
+        )
+
+    def default_traffic_fraction(self) -> float:
+        return self.selector.default_traffic_fraction
+
+    def describe(self) -> str:
+        return "AppAware"

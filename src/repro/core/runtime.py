@@ -1,0 +1,101 @@
+"""The uGNI-shim runtime: per-message routing control over a raw network.
+
+On the real system the application-aware library interposes on the uGNI /
+DMAPP send functions via ``LD_PRELOAD`` (Section 4.3): before every send it
+runs Algorithm 1, passes the chosen routing mode to the real uGNI call, and
+reads the NIC counters afterwards.  :class:`AppAwareRuntime` is the simulated
+analogue for code that talks to the :class:`~repro.network.network.Network`
+directly (the MPI layer uses :mod:`repro.core.policy` instead, which is the
+same logic behind the MPI-shaped interface).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.policy import RoutingPolicy
+from repro.core.selector import SelectorParams
+from repro.core.policy import ApplicationAwarePolicy
+from repro.network.network import Network
+from repro.network.packet import Message, RdmaOp
+from repro.routing.modes import RoutingMode
+
+
+class AppAwareRuntime:
+    """Wraps one node's sends with a routing policy and counter feedback.
+
+    Parameters
+    ----------
+    network:
+        The simulated system.
+    node_id:
+        The node whose NIC this runtime controls.
+    policy:
+        Any :class:`~repro.core.policy.RoutingPolicy`; defaults to the
+        application-aware policy (Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: int,
+        policy: Optional[RoutingPolicy] = None,
+        selector_params: Optional[SelectorParams] = None,
+    ):
+        self.network = network
+        self.node_id = node_id
+        self.policy = policy or ApplicationAwarePolicy(
+            network.config.nic, selector_params
+        )
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(
+        self,
+        dst_node: int,
+        size_bytes: int,
+        op: RdmaOp = RdmaOp.PUT,
+        collective: Optional[str] = None,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+        on_acked: Optional[Callable[[Message], None]] = None,
+        tag: Optional[object] = None,
+    ) -> Message:
+        """Send a message, letting the policy pick the routing mode.
+
+        The NIC counters are snapshotted before the send and their delta is
+        fed back to the policy when the message has been fully acknowledged —
+        the same "read counters after the send, use them for the next
+        decision" loop as the real library.
+        """
+        mode = self.policy.mode_for(size_bytes, dst_node, collective)
+        nic = self.network.nic(self.node_id)
+        before = nic.counters.snapshot()
+
+        def _feedback(message: Message) -> None:
+            after = nic.counters.snapshot()
+            self.policy.observe(after.delta(before), mode)
+            if on_acked is not None:
+                on_acked(message)
+
+        message = self.network.send(
+            src_node=self.node_id,
+            dst_node=dst_node,
+            size_bytes=size_bytes,
+            routing_mode=mode,
+            op=op,
+            on_delivered=on_delivered,
+            on_acked=_feedback,
+            tag=tag,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        return message
+
+    @property
+    def default_traffic_fraction(self) -> float:
+        """Fraction of bytes routed with the Default family."""
+        return self.policy.default_traffic_fraction()
+
+    def describe(self) -> str:
+        """Label of the underlying policy."""
+        return self.policy.describe()

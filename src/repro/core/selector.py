@@ -1,0 +1,270 @@
+"""Algorithm 1: application-aware selection of the routing mode.
+
+Before each message is sent, the selector decides whether to route it with
+**Adaptive** (``ADAPTIVE_0``, or Increasingly-Minimal-Bias for Alltoall
+traffic) or **Adaptive with High Bias** (``ADAPTIVE_3``), using the latency
+``L`` and stall ratio ``s`` observed through the NIC counters for previously
+sent messages:
+
+* while running with Adaptive, the observed ``(L_ad, s_ad)`` are up to date
+  and the High-Bias operating point is *estimated* by scaling them with the
+  factors ``λ_ad`` and ``σ_ad`` (derived from median behaviour across many
+  allocations) — unless a sufficiently recent direct observation of the
+  High-Bias point exists, in which case that is used;
+* the message is routed with High Bias when Equation 2 predicts a lower
+  transmission time for the High-Bias point, which for the threshold form of
+  the paper means ``f < (L_ad - L_bs)/(s_bs - s_ad) · (p + W/2)/W``;
+* observations older than ``max_age_samples`` decisions are discarded so the
+  algorithm does not act on data from a different application phase;
+* messages are not inspected individually: a cumulative byte counter is kept
+  and the algorithm only runs once it exceeds ``threshold_bytes`` (4 KiB);
+  below the threshold traffic defaults to High Bias, because small messages
+  are latency-bound and High Bias has the lower latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import NicConfig
+from repro.core.perf_model import estimate_transmission_cycles, flits_and_packets
+from repro.network.packet import RdmaOp
+from repro.routing.modes import RoutingMode
+
+
+@dataclass(frozen=True)
+class SelectorParams:
+    """Tunables of Algorithm 1.
+
+    The scaling factors encode the median relationship between the two
+    routing modes observed across microbenchmark runs: High Bias tends to
+    have a *lower* packet latency (fewer hops, no needless detours) but a
+    *higher* stall ratio (less path diversity), hence ``lambda_ad < 1`` and
+    ``sigma_ad > 1``.
+    """
+
+    #: Cumulative message bytes after which the algorithm is (re)evaluated.
+    threshold_bytes: int = 4096
+    #: λ_ad — estimated High-Bias latency as a fraction of the Adaptive one.
+    lambda_ad: float = 0.80
+    #: σ_ad — estimated High-Bias stall ratio as a multiple of the Adaptive one.
+    sigma_ad: float = 1.60
+    #: Observations older than this many decisions are considered stale.
+    max_age_samples: int = 64
+    #: Additive smoothing applied to stall ratios before scaling, so a zero
+    #: observed stall ratio still produces distinct operating points.
+    stall_floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.threshold_bytes < 0:
+            raise ValueError("threshold_bytes must be non-negative")
+        if self.lambda_ad <= 0 or self.sigma_ad <= 0:
+            raise ValueError("scaling factors must be positive")
+        if self.max_age_samples < 1:
+            raise ValueError("max_age_samples must be >= 1")
+
+    @property
+    def lambda_bs(self) -> float:
+        """Dual factor: estimated Adaptive latency from a High-Bias observation."""
+        return 1.0 / self.lambda_ad
+
+    @property
+    def sigma_bs(self) -> float:
+        """Dual factor: estimated Adaptive stall ratio from a High-Bias observation."""
+        return 1.0 / self.sigma_ad
+
+
+@dataclass
+class _Observation:
+    """Latest counters observed while running under one routing family."""
+
+    latency: Optional[float] = None
+    stall_ratio: Optional[float] = None
+    age: int = 0
+
+    def valid(self, max_age: int) -> bool:
+        return self.latency is not None and self.age <= max_age
+
+    def tick(self) -> None:
+        if self.latency is not None:
+            self.age += 1
+
+    def update(self, latency: float, stall_ratio: float) -> None:
+        self.latency = latency
+        self.stall_ratio = stall_ratio
+        self.age = 0
+
+    def invalidate(self) -> None:
+        self.latency = None
+        self.stall_ratio = None
+        self.age = 0
+
+
+class AppAwareSelector:
+    """Per-process implementation of Algorithm 1."""
+
+    def __init__(
+        self,
+        nic_config: NicConfig,
+        params: Optional[SelectorParams] = None,
+        initial_mode: RoutingMode = RoutingMode.ADAPTIVE_0,
+    ):
+        if initial_mode not in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_3):
+            raise ValueError(
+                "the selector alternates between ADAPTIVE_0 and ADAPTIVE_3; "
+                f"{initial_mode} is not a valid starting mode"
+            )
+        self.nic_config = nic_config
+        self.params = params or SelectorParams()
+        self.current_mode = initial_mode
+        self._adaptive_obs = _Observation()
+        self._bias_obs = _Observation()
+        self._cumulative_bytes = 0
+        self.decisions = 0
+        self.switches = 0
+        #: Bytes routed with each family (reported as the "% Default traffic").
+        self.bytes_default = 0
+        self.bytes_high_bias = 0
+
+    # -- observation feed ------------------------------------------------------
+
+    def observe(self, latency: float, stall_ratio: float, mode: Optional[RoutingMode] = None) -> None:
+        """Record the NIC counters measured for the last sent message.
+
+        ``mode`` identifies which routing family produced the observation;
+        when omitted, the selector's current mode is assumed (the normal
+        situation: counters are read right after a send).
+        """
+        family = mode or self.current_mode
+        if family in (RoutingMode.ADAPTIVE_3,):
+            self._bias_obs.update(latency, stall_ratio)
+        else:
+            self._adaptive_obs.update(latency, stall_ratio)
+
+    # -- Algorithm 1 -------------------------------------------------------------
+
+    def select_routing(
+        self,
+        msg_size_bytes: int,
+        is_alltoall: bool = False,
+        op: RdmaOp = RdmaOp.PUT,
+    ) -> RoutingMode:
+        """Choose the routing mode for the next message of ``msg_size_bytes``."""
+        params = self.params
+        self._cumulative_bytes += msg_size_bytes
+        self.decisions += 1
+        self._adaptive_obs.tick()
+        self._bias_obs.tick()
+
+        if self._cumulative_bytes < params.threshold_bytes:
+            # Small cumulative traffic: latency-bound, send with High Bias
+            # without paying the counter-reading overhead.
+            mode = RoutingMode.ADAPTIVE_3
+            self._account(msg_size_bytes, mode)
+            return mode
+        # The algorithm runs: reset the cumulative counter.
+        self._cumulative_bytes = 0
+
+        previous = self.current_mode
+        if previous == RoutingMode.ADAPTIVE_0:
+            latency_ad, stall_ad, latency_bs, stall_bs = self._operating_points_from_adaptive()
+        else:
+            latency_ad, stall_ad, latency_bs, stall_bs = self._operating_points_from_bias()
+
+        if latency_ad is None:
+            # No observation at all yet: keep the current mode.
+            mode = previous
+        else:
+            t_adaptive = estimate_transmission_cycles(
+                msg_size_bytes, latency_ad, stall_ad, self.nic_config, op
+            )
+            t_bias = estimate_transmission_cycles(
+                msg_size_bytes, latency_bs, stall_bs, self.nic_config, op
+            )
+            mode = RoutingMode.ADAPTIVE_3 if t_bias < t_adaptive else RoutingMode.ADAPTIVE_0
+        if mode != self.current_mode:
+            self.switches += 1
+        self.current_mode = mode
+        self._account(msg_size_bytes, mode)
+        if mode == RoutingMode.ADAPTIVE_0 and is_alltoall:
+            # MPI_Alltoall keeps its own default: Increasingly Minimal Bias.
+            return RoutingMode.ADAPTIVE_1
+        return mode
+
+    def _operating_points_from_adaptive(self):
+        """Current mode is Adaptive: L_ad/s_ad measured, L_bs/s_bs estimated."""
+        params = self.params
+        obs = self._adaptive_obs
+        if obs.latency is None:
+            return None, None, None, None
+        latency_ad = obs.latency
+        stall_ad = obs.stall_ratio
+        if self._bias_obs.valid(params.max_age_samples):
+            latency_bs = self._bias_obs.latency
+            stall_bs = self._bias_obs.stall_ratio
+        else:
+            self._bias_obs.invalidate()
+            latency_bs = latency_ad * params.lambda_ad
+            stall_bs = (stall_ad + params.stall_floor) * params.sigma_ad
+        return latency_ad, stall_ad, latency_bs, stall_bs
+
+    def _operating_points_from_bias(self):
+        """Current mode is High Bias: L_bs/s_bs measured, L_ad/s_ad estimated."""
+        params = self.params
+        obs = self._bias_obs
+        if obs.latency is None:
+            return None, None, None, None
+        latency_bs = obs.latency
+        stall_bs = obs.stall_ratio
+        if self._adaptive_obs.valid(params.max_age_samples):
+            latency_ad = self._adaptive_obs.latency
+            stall_ad = self._adaptive_obs.stall_ratio
+        else:
+            self._adaptive_obs.invalidate()
+            latency_ad = latency_bs * params.lambda_bs
+            stall_ad = max(0.0, (stall_bs + params.stall_floor) * params.sigma_bs - params.stall_floor)
+        return latency_ad, stall_ad, latency_bs, stall_bs
+
+    # -- reporting -----------------------------------------------------------------
+
+    def _account(self, size_bytes: int, mode: RoutingMode) -> None:
+        if mode == RoutingMode.ADAPTIVE_3:
+            self.bytes_high_bias += size_bytes
+        else:
+            self.bytes_default += size_bytes
+
+    @property
+    def default_traffic_fraction(self) -> float:
+        """Fraction of bytes sent with the Default (Adaptive/IMB) family.
+
+        This is the percentage annotated under each test in Figures 8–10.
+        """
+        total = self.bytes_default + self.bytes_high_bias
+        if total == 0:
+            return 0.0
+        return self.bytes_default / total
+
+    def flit_threshold(self, latency_ad: float, stall_ad: float, latency_bs: float, stall_bs: float, packets: int) -> float:
+        """The threshold form of Algorithm 1 (Equation 4).
+
+        Returns the flit count below which High Bias is predicted to win:
+        ``(L_ad - L_bs)/(s_bs - s_ad) · (p + W/2)/W``.  Provided mainly for
+        tests demonstrating equivalence with the direct Equation-2 comparison;
+        callers must ensure ``s_bs != s_ad``.
+        """
+        if stall_bs == stall_ad:
+            raise ZeroDivisionError("threshold undefined when both stall ratios match")
+        window = self.nic_config.max_outstanding_packets
+        return (latency_ad - latency_bs) / (stall_bs - stall_ad) * (packets + window / 2.0) / window
+
+    def reset(self) -> None:
+        """Forget all observations and statistics (e.g. between phases)."""
+        self._adaptive_obs.invalidate()
+        self._bias_obs.invalidate()
+        self._cumulative_bytes = 0
+        self.decisions = 0
+        self.switches = 0
+        self.bytes_default = 0
+        self.bytes_high_bias = 0
+        self.current_mode = RoutingMode.ADAPTIVE_0

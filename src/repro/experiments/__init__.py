@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes a ``run(scale)`` function returning a result object and
+a ``report(result)`` function rendering the same rows/series the paper
+reports, so the benchmark harness only has to call and print.
+
+The :class:`~repro.experiments.harness.ExperimentScale` object controls the
+simulated system size and iteration counts; the ``smoke`` preset keeps unit
+tests fast, while the ``paper`` preset (used by the benchmarks) runs the
+largest configuration that completes in reasonable time on the pure-Python
+simulator.  Absolute scale is therefore smaller than the 1024-node Piz Daint
+runs — the quantities compared (orderings, ratios, crossovers) are the ones
+the paper's conclusions rest on.
+"""
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    PolicyComparison,
+    build_network,
+    compare_policies,
+    policy_factories,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PolicyComparison",
+    "build_network",
+    "compare_policies",
+    "policy_factories",
+]

@@ -1,0 +1,115 @@
+"""Command-line runner for the per-figure experiments.
+
+Usage::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli figure3 figure7 --scale smoke
+    python -m repro.experiments.cli all --scale paper --output results/
+
+Each experiment prints the same table the corresponding benchmark produces;
+``--output`` additionally writes one text file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    model_validation,
+    table1,
+)
+from repro.experiments.harness import ExperimentScale
+
+#: Registry of runnable experiments: name -> (run, report).
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "figure3": (figure3.run, figure3.report),
+    "table1": (table1.run, table1.report),
+    "figure4": (figure4.run, figure4.report),
+    "figure5": (figure5.run, figure5.report),
+    "figure7": (figure7.run, figure7.report),
+    "figure8": (figure8.run, figure8.report),
+    "figure9": (figure9.run, figure9.report),
+    "figure10": (figure10.run, figure10.report),
+    "model_validation": (model_validation.run, model_validation.report),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Re-run the paper's experiments on the simulated Dragonfly.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "paper"),
+        default="smoke",
+        help="experiment scale preset (default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the master seed")
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write one <experiment>.txt per experiment",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    requested = list(args.experiments)
+    if not requested:
+        parser.error("no experiments requested (use --list to see the choices)")
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    scale = ExperimentScale.smoke() if args.scale == "smoke" else ExperimentScale.paper()
+    if args.seed is not None:
+        scale = scale.with_seed(args.seed)
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    for name in requested:
+        run, report = EXPERIMENTS[name]
+        start = time.time()
+        result = run(scale)
+        text = report(result)
+        elapsed = time.time() - start
+        print(text)
+        print(f"[{name} completed in {elapsed:.1f} s at scale '{scale.name}']\n")
+        if args.output is not None:
+            (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in docs
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Figure 3 — ping-pong performance across allocations.
+
+A 16 KiB ping-pong is run between two nodes placed (a) on the same blade,
+(b) on different blades of one chassis, (c) on different chassis of one
+group and (d) in different groups, with cross traffic active.  The paper
+observes that both the median round-trip time *and* its dispersion grow with
+the topological distance, with inter-group outliers reaching orders of
+magnitude above the median — which is why all later experiments fix the
+allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.allocation.policies import figure3_allocations
+from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
+from repro.analysis.stats import summarize
+from repro.experiments.harness import ExperimentScale, build_network
+from repro.mpi.job import MpiJob
+from repro.noise.background import BackgroundTraffic
+from repro.workloads.microbench import PingPongBenchmark
+
+#: Message size used by the paper for this experiment.
+MESSAGE_BYTES = 16 * 1024
+
+
+@dataclass
+class Figure3Result:
+    """Round-trip samples per allocation, in the paper's order."""
+
+    message_bytes: int
+    samples: Dict[str, List[int]] = field(default_factory=dict)
+
+    def medians(self) -> Dict[str, float]:
+        """Median round-trip time per allocation."""
+        return {name: summarize(times).median for name, times in self.samples.items()}
+
+    def qcds(self) -> Dict[str, float]:
+        """QCD per allocation (the dispersion the paper highlights)."""
+        return {name: summarize(times).qcd for name, times in self.samples.items()}
+
+
+def run(scale: ExperimentScale) -> Figure3Result:
+    """Run the allocation sweep and return the round-trip samples."""
+    topo = scale.topology()
+    message_bytes = scale.scaled_size(MESSAGE_BYTES)
+    result = Figure3Result(message_bytes=message_bytes)
+    for index, allocation in enumerate(figure3_allocations(topo)):
+        network = build_network(scale, seed_offset=index)
+        noise = BackgroundTraffic.for_level(
+            network,
+            list(allocation),
+            scale.noise_level,
+            max_nodes=16,
+            name=f"fig3-{allocation.name}",
+        )
+        if noise is not None:
+            noise.start()
+        job = MpiJob(network, list(allocation), name=f"fig3-{allocation.name}")
+        workload = PingPongBenchmark(
+            size_bytes=message_bytes,
+            iterations=scale.pingpong_repetitions,
+            warmup=1,
+        )
+        run_result = workload.run(job)
+        result.samples[allocation.name] = list(run_result.iteration_times)
+        if noise is not None:
+            noise.stop()
+    return result
+
+
+def report(result: Figure3Result) -> str:
+    """Render the box-plot statistics table of Figure 3."""
+    table = Table(
+        title=f"Figure 3 — ping-pong ({result.message_bytes} B) across allocations",
+        columns=BOXPLOT_COLUMNS,
+    )
+    for name, times in result.samples.items():
+        table.add_row(*boxplot_row(name, times))
+    return table.render()

@@ -1,0 +1,65 @@
+"""Figure 4 — intra-node Alltoall variability (no network involved).
+
+Eight processes on one node run ``MPI_Alltoall`` for several message sizes.
+The network is never used, yet the execution time varies noticeably because
+of host-side effects (memory-bandwidth contention between the processes and
+OS noise).  This demonstrates the Section 3.3 rule: variation of
+communication-routine execution time is *not* a network-noise measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
+from repro.analysis.stats import summarize
+from repro.experiments.harness import ExperimentScale, build_network
+from repro.mpi.job import MpiJob
+from repro.workloads.microbench import AlltoallBenchmark
+
+#: Message sizes of the sweep (bytes per rank pair).
+MESSAGE_SIZES = (256, 1024, 4096, 16384)
+#: Processes per node, as in the paper.
+PROCESSES = 8
+
+
+@dataclass
+class Figure4Result:
+    """Execution-time samples per message size."""
+
+    processes: int
+    samples: Dict[int, List[int]] = field(default_factory=dict)
+
+    def qcds(self) -> Dict[int, float]:
+        """QCD of the execution time per message size."""
+        return {size: summarize(times).qcd for size, times in self.samples.items()}
+
+
+def run(scale: ExperimentScale) -> Figure4Result:
+    """Run the intra-node Alltoall sweep."""
+    result = Figure4Result(processes=PROCESSES)
+    for index, size in enumerate(MESSAGE_SIZES):
+        size_bytes = scale.scaled_size(size)
+        network = build_network(scale, seed_offset=index)
+        # All ranks share node 0: every transfer goes through the host model.
+        job = MpiJob(network, [0] * PROCESSES, name=f"fig4-{size}")
+        workload = AlltoallBenchmark(
+            size_bytes=size_bytes,
+            iterations=max(scale.iterations * 4, 8),
+            warmup=1,
+        )
+        run_result = workload.run(job)
+        result.samples[size_bytes] = list(run_result.iteration_times)
+    return result
+
+
+def report(result: Figure4Result) -> str:
+    """Render the per-size execution time distributions."""
+    table = Table(
+        title=f"Figure 4 — intra-node Alltoall ({result.processes} processes, no network)",
+        columns=BOXPLOT_COLUMNS,
+    )
+    for size, times in sorted(result.samples.items()):
+        table.add_row(*boxplot_row(f"{size} B", times))
+    return table.render()

@@ -1,0 +1,99 @@
+"""Figure 5 — execution-time QCD vs. packet-latency QCD.
+
+A ping-pong between two nodes in different groups is repeated for several
+message sizes.  For every iteration we record both the end-to-end execution
+time and the average packet latency reported by the sender's NIC counters.
+The QCD of the execution time is consistently larger than the QCD of the
+latency — i.e. using communication-time variability as a noise estimate
+overestimates network noise — and the gap narrows as messages grow and the
+latency contribution to the total time shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.allocation.policies import allocate_inter_group_pair
+from repro.analysis.reporting import Table
+from repro.analysis.stats import quartile_coefficient_of_dispersion
+from repro.experiments.harness import ExperimentScale, build_network
+from repro.mpi.job import MpiJob
+from repro.noise.background import BackgroundTraffic
+from repro.workloads.microbench import PingPongBenchmark
+
+#: Message sizes of the sweep, in bytes.
+MESSAGE_SIZES = (512, 4096, 32768, 131072)
+
+
+@dataclass
+class Figure5Result:
+    """Per message size: execution times and per-iteration packet latencies."""
+
+    execution_times: Dict[int, List[float]] = field(default_factory=dict)
+    packet_latencies: Dict[int, List[float]] = field(default_factory=dict)
+
+    def qcds(self) -> Dict[int, Tuple[float, float]]:
+        """``size -> (execution-time QCD, latency QCD)``."""
+        out: Dict[int, Tuple[float, float]] = {}
+        for size in self.execution_times:
+            out[size] = (
+                quartile_coefficient_of_dispersion(self.execution_times[size]),
+                quartile_coefficient_of_dispersion(self.packet_latencies[size]),
+            )
+        return out
+
+
+def run(scale: ExperimentScale) -> Figure5Result:
+    """Run the inter-group ping-pong sweep, recording times and latencies."""
+    topo = scale.topology()
+    allocation = allocate_inter_group_pair(topo)
+    result = Figure5Result()
+    for index, size in enumerate(MESSAGE_SIZES):
+        size_bytes = scale.scaled_size(size)
+        network = build_network(scale, seed_offset=index)
+        noise = BackgroundTraffic.for_level(
+            network, list(allocation), scale.noise_level, max_nodes=16, name=f"fig5-{size}"
+        )
+        if noise is not None:
+            noise.start()
+        job = MpiJob(network, list(allocation), name=f"fig5-{size}")
+        sender_nic = network.nic(allocation[0])
+
+        times: List[float] = []
+        latencies: List[float] = []
+        snapshots = {"before": sender_nic.counters.snapshot()}
+
+        workload = PingPongBenchmark(
+            size_bytes=size_bytes,
+            iterations=scale.pingpong_repetitions,
+            warmup=1,
+        )
+
+        def record(iteration: int, elapsed: int) -> None:
+            after = sender_nic.counters.snapshot()
+            delta = after.delta(snapshots["before"])
+            snapshots["before"] = after
+            times.append(float(elapsed))
+            latencies.append(delta.avg_packet_latency)
+
+        workload.on_iteration = record
+        workload.run(job)
+        # Drop iterations where no responses were counted (should not happen).
+        result.execution_times[size_bytes] = times
+        result.packet_latencies[size_bytes] = [l for l in latencies if l > 0] or latencies
+        if noise is not None:
+            noise.stop()
+    return result
+
+
+def report(result: Figure5Result) -> str:
+    """Render the QCD comparison of Figure 5."""
+    table = Table(
+        title="Figure 5 — QCD of execution time vs. packet latency (inter-group ping-pong)",
+        columns=["message size (B)", "QCD exec time", "QCD latency", "exec/latency"],
+    )
+    for size, (qcd_time, qcd_latency) in sorted(result.qcds().items()):
+        ratio = qcd_time / qcd_latency if qcd_latency > 0 else float("inf")
+        table.add_row(size, qcd_time, qcd_latency, ratio)
+    return table.render()

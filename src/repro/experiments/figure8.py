@@ -1,0 +1,232 @@
+"""Figures 8 and 9 — microbenchmarks under the three routing configurations.
+
+Each microbenchmark (ping-pong, allreduce, alltoall, barrier, broadcast,
+halo3d, sweep3d) is run, for several input sizes, under
+
+* **Default** — ``ADAPTIVE_0`` (``ADAPTIVE_1`` for Alltoall),
+* **HighBias** — ``ADAPTIVE_3``,
+* **AppAware** — Algorithm 1,
+
+on one fixed, scattered multi-group allocation with cross traffic active.
+The reported quantity is the iteration time normalized by the median of the
+Default configuration (values below 1 mean faster than Default), plus the
+percentage of traffic the Application-Aware policy sent with the Default
+family.  Figure 8 uses the large allocation (1024 nodes on Piz Daint in the
+paper); Figure 9 repeats the experiment on a small allocation (64 nodes on
+Cori) — here both are reduced-scale but keep the large/small relationship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.allocation.policies import allocate_scattered
+from repro.analysis.reporting import Table
+from repro.experiments.harness import (
+    ExperimentScale,
+    PolicyComparison,
+    compare_policies,
+)
+from repro.workloads.base import Workload
+from repro.workloads.microbench import (
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    BarrierBenchmark,
+    BroadcastBenchmark,
+    PingPongBenchmark,
+)
+from repro.workloads.stencils import Halo3DBenchmark, Sweep3DBenchmark
+
+#: (benchmark name, input label, factory builder) — the Figure 8 test matrix.
+BenchmarkSpec = Tuple[str, str, Callable[[ExperimentScale], Callable[[], Workload]]]
+
+
+def _pingpong(size: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: PingPongBenchmark(
+            size_bytes=scale.scaled_size(size),
+            iterations=scale.iterations,
+            pingpongs_per_iteration=4,
+        )
+
+    return build
+
+
+def _allreduce(elements: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: AllreduceBenchmark(
+            elements=max(8, int(elements * scale.message_scale)),
+            iterations=scale.iterations,
+        )
+
+    return build
+
+
+def _alltoall(size: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: AlltoallBenchmark(
+            size_bytes=scale.scaled_size(size), iterations=scale.iterations
+        )
+
+    return build
+
+
+def _barrier() -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: BarrierBenchmark(
+            barriers_per_iteration=8, iterations=scale.iterations
+        )
+
+    return build
+
+
+def _broadcast(size: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: BroadcastBenchmark(
+            size_bytes=scale.scaled_size(size), iterations=scale.iterations
+        )
+
+    return build
+
+
+def _halo3d(domain: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: Halo3DBenchmark(
+            domain=max(8, int(domain * scale.message_scale)),
+            iterations=scale.iterations,
+        )
+
+    return build
+
+
+def _sweep3d(domain: int) -> Callable[[ExperimentScale], Callable[[], Workload]]:
+    def build(scale: ExperimentScale) -> Callable[[], Workload]:
+        return lambda: Sweep3DBenchmark(
+            domain=max(8, int(domain * scale.message_scale)),
+            iterations=scale.iterations,
+        )
+
+    return build
+
+
+def benchmark_matrix() -> List[BenchmarkSpec]:
+    """The benchmark/input matrix of Figure 8 (sizes scaled by the harness)."""
+    return [
+        ("pingpong", "16KiB", _pingpong(16 * 1024)),
+        ("pingpong", "128KiB", _pingpong(128 * 1024)),
+        ("allreduce", "512", _allreduce(512)),
+        ("allreduce", "8192", _allreduce(8192)),
+        ("alltoall", "256B", _alltoall(256)),
+        ("alltoall", "2KiB", _alltoall(2 * 1024)),
+        ("barrier", "8x", _barrier()),
+        ("broadcast", "16KiB", _broadcast(16 * 1024)),
+        ("broadcast", "128KiB", _broadcast(128 * 1024)),
+        ("halo3d", "64", _halo3d(64)),
+        ("halo3d", "128", _halo3d(128)),
+        ("sweep3d", "64", _sweep3d(64)),
+        ("sweep3d", "128", _sweep3d(128)),
+    ]
+
+
+@dataclass
+class MicrobenchmarkSuiteResult:
+    """One row per (benchmark, input): the three normalized series."""
+
+    figure: str
+    job_nodes: int
+    allocation_summary: str
+    comparisons: List[Tuple[str, str, PolicyComparison]] = field(default_factory=list)
+
+    def rows(self) -> List[List[object]]:
+        """Rows matching the paper's figure annotation."""
+        out: List[List[object]] = []
+        for bench, label, comparison in self.comparisons:
+            normalized = comparison.normalized_medians()
+            fraction = comparison.app_aware_fraction_default()
+            out.append(
+                [
+                    bench,
+                    label,
+                    comparison.results["Default"].median_time(),
+                    normalized.get("Default", 1.0),
+                    normalized.get("HighBias", float("nan")),
+                    normalized.get("AppAware", float("nan")),
+                    (fraction * 100.0) if fraction is not None else float("nan"),
+                    comparison.best_policy(),
+                ]
+            )
+        return out
+
+    def app_aware_win_rate(self) -> float:
+        """Fraction of configurations where AppAware is within 10 % of the best."""
+        if not self.comparisons:
+            return 0.0
+        wins = 0
+        for _, _, comparison in self.comparisons:
+            normalized = comparison.normalized_medians()
+            best = min(normalized.values())
+            if normalized.get("AppAware", float("inf")) <= best * 1.10:
+                wins += 1
+        return wins / len(self.comparisons)
+
+
+def run_suite(
+    scale: ExperimentScale,
+    job_nodes: int,
+    figure: str,
+    specs: Sequence[BenchmarkSpec] = (),
+) -> MicrobenchmarkSuiteResult:
+    """Run the benchmark matrix on a scattered allocation of ``job_nodes``."""
+    topo = scale.topology()
+    rng = __import__("random").Random(scale.seed + job_nodes)
+    allocation = allocate_scattered(topo, job_nodes, rng, name=f"{figure}-alloc")
+    result = MicrobenchmarkSuiteResult(
+        figure=figure,
+        job_nodes=job_nodes,
+        allocation_summary=allocation.describe(topo),
+    )
+    matrix = list(specs) if specs else benchmark_matrix()
+    for bench, label, builder in matrix:
+        factory = builder(scale)
+        comparison = compare_policies(scale, allocation, factory)
+        result.comparisons.append((bench, label, comparison))
+    return result
+
+
+def run(scale: ExperimentScale) -> MicrobenchmarkSuiteResult:
+    """Figure 8: the large-allocation microbenchmark suite."""
+    return run_suite(scale, scale.large_job_nodes, figure="figure8")
+
+
+def run_small(scale: ExperimentScale) -> MicrobenchmarkSuiteResult:
+    """Figure 9: the same suite on the small (Cori-like) allocation."""
+    return run_suite(scale, scale.small_job_nodes, figure="figure9")
+
+
+def report(result: MicrobenchmarkSuiteResult) -> str:
+    """Render the normalized-time rows of Figure 8/9."""
+    table = Table(
+        title=(
+            f"{result.figure} — microbenchmarks, {result.job_nodes} nodes "
+            f"({result.allocation_summary}); times normalized to Default median"
+        ),
+        columns=[
+            "benchmark",
+            "input",
+            "median Default (cycles)",
+            "Default",
+            "HighBias",
+            "AppAware",
+            "% default traffic (AppAware)",
+            "best",
+        ],
+    )
+    for row in result.rows():
+        table.add_row(*row)
+    lines = [table.render()]
+    lines.append(
+        f"AppAware within 10% of the best static mode in "
+        f"{result.app_aware_win_rate() * 100:.0f}% of configurations"
+    )
+    return "\n".join(lines)

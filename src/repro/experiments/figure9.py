@@ -1,0 +1,26 @@
+"""Figure 9 — the microbenchmark suite on the small (Cori-like) allocation.
+
+Identical to Figure 8 except for the job size: the paper ran 64 nodes
+scattered over 33 routers in 5 groups of Cori and obtained the same
+qualitative picture as on the 1024-node Piz Daint allocation.  The driver
+simply reuses the Figure 8 machinery with ``scale.small_job_nodes``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure8 import (
+    MicrobenchmarkSuiteResult,
+    report as _report,
+    run_small,
+)
+from repro.experiments.harness import ExperimentScale
+
+
+def run(scale: ExperimentScale) -> MicrobenchmarkSuiteResult:
+    """Run the small-allocation suite."""
+    return run_small(scale)
+
+
+def report(result: MicrobenchmarkSuiteResult) -> str:
+    """Render the Figure 9 table."""
+    return _report(result)

@@ -1,0 +1,105 @@
+"""Table 1 — correlation is not causation.
+
+An application that does nothing but wait (1 "second" vs 2 "seconds") is
+allocated on a handful of blades while cross traffic flows through the
+machine.  The number of flits observed by the allocation's routers — and
+their queue-wait (stall) cycles — roughly doubles with the observation
+interval even though the application never touches the network: counter
+totals correlate with execution time without any causal link, which is why
+Section 3.2 prescribes normalizing counters by the observation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.allocation.policies import allocate_contiguous
+from repro.analysis.reporting import Table
+from repro.experiments.harness import ExperimentScale, build_network
+from repro.noise.background import BackgroundTraffic
+
+#: Simulated cycles standing in for "1 second" of idle time.
+IDLE_UNIT_CYCLES = 400_000
+
+
+@dataclass
+class Table1Row:
+    """One observation interval."""
+
+    idle_units: int
+    idle_cycles: int
+    incoming_flits: int
+    stalled_cycles: int
+    flits_per_unit: float
+
+
+@dataclass
+class Table1Result:
+    """Both observation intervals plus the normalized rates."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def flit_ratio(self) -> float:
+        """Flits(2 units) / flits(1 unit) — close to 2 despite an idle app."""
+        if len(self.rows) < 2 or self.rows[0].incoming_flits == 0:
+            return 0.0
+        return self.rows[1].incoming_flits / self.rows[0].incoming_flits
+
+    def normalized_ratio(self) -> float:
+        """Per-unit flit rate of the long run over the short run (≈ 1)."""
+        if len(self.rows) < 2 or self.rows[0].flits_per_unit == 0:
+            return 0.0
+        return self.rows[1].flits_per_unit / self.rows[0].flits_per_unit
+
+
+def run(scale: ExperimentScale, idle_unit_cycles: int = IDLE_UNIT_CYCLES) -> Table1Result:
+    """Measure router counters around an idle application for 1 and 2 units."""
+    topo = scale.topology()
+    result = Table1Result()
+    job_nodes = allocate_contiguous(topo, min(scale.small_job_nodes, topo.num_nodes // 2))
+    for idle_units in (1, 2):
+        network = build_network(scale, seed_offset=idle_units)
+        noise = BackgroundTraffic.for_level(
+            network,
+            list(job_nodes),
+            scale.noise_level,
+            name=f"table1-{idle_units}",
+            fraction_of_free_nodes=0.75,
+        )
+        if noise is not None:
+            noise.start()
+        routers = job_nodes.routers(topo)
+        # The idle application: it owns `routers` but sends nothing.
+        duration = idle_units * idle_unit_cycles
+        network.run(until=duration)
+        incoming = network.total_flits_traversed(routers)
+        stalled = sum(network.router(r).stalled_cycles for r in routers)
+        result.rows.append(
+            Table1Row(
+                idle_units=idle_units,
+                idle_cycles=duration,
+                incoming_flits=incoming,
+                stalled_cycles=stalled,
+                flits_per_unit=incoming / idle_units,
+            )
+        )
+        if noise is not None:
+            noise.stop()
+    return result
+
+
+def report(result: Table1Result) -> str:
+    """Render Table 1 plus the normalized rates that fix the fallacy."""
+    table = Table(
+        title="Table 1 — (idle) time vs. observed flits and stalls",
+        columns=["idle time (units)", "incoming flits", "stalled cycles", "flits per unit"],
+    )
+    for row in result.rows:
+        table.add_row(row.idle_units, row.incoming_flits, row.stalled_cycles, row.flits_per_unit)
+    lines = [table.render()]
+    lines.append(
+        f"raw flit ratio (2u/1u): {result.flit_ratio():.2f}  "
+        f"normalized per-unit ratio: {result.normalized_ratio():.2f}"
+    )
+    return "\n".join(lines)

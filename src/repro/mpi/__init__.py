@@ -1,0 +1,20 @@
+"""A small MPI-like message-passing layer on top of the simulated network.
+
+Rank programs are written as Python generators that yield
+:class:`~repro.mpi.request.Request` objects (or lists of them); the
+:class:`~repro.mpi.job.MpiJob` scheduler resumes a rank once the requests it
+waited on have completed.  Collective operations (barrier, broadcast,
+allreduce, alltoall, allgather, reduce) are built from point-to-point
+messages with the textbook algorithms, so their traffic patterns — and
+therefore their sensitivity to routing — resemble the MPI implementations
+used in the paper's evaluation.
+
+Every outgoing message consults the job's per-rank
+:class:`~repro.core.policy.RoutingPolicy`, which is how the three evaluated
+configurations (Default, Adaptive with High Bias, Application-Aware) differ.
+"""
+
+from repro.mpi.request import Request
+from repro.mpi.job import MpiJob, RankContext
+
+__all__ = ["Request", "MpiJob", "RankContext"]

@@ -1,0 +1,196 @@
+"""Collective operations built from point-to-point messages.
+
+The algorithms are the textbook ones used by production MPI libraries (and by
+Cray MPICH for mid-sized messages), so the traffic patterns — and therefore
+the interaction with the routing algorithm — match the microbenchmarks of the
+paper's evaluation:
+
+* barrier — dissemination;
+* broadcast — binomial tree;
+* reduce — binomial tree (leaves toward the root);
+* allreduce — recursive doubling for power-of-two sizes, ring otherwise;
+* alltoall — pairwise exchange (each step sends the per-pair buffer);
+* allgather — ring.
+
+Every function is a generator meant to be ``yield from``-ed inside a rank
+program; tags are namespaced per call so overlapping collectives of the same
+kind do not mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.job import RankContext
+
+#: Bytes carried by a pure synchronization message (barrier tokens).
+SYNC_MESSAGE_BYTES = 8
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def barrier(ctx: "RankContext", tag: object = "barrier"):
+    """Dissemination barrier: ``ceil(log2(P))`` rounds of small messages."""
+    size = ctx.size
+    if size == 1:
+        return
+    rank = ctx.rank
+    round_index = 0
+    distance = 1
+    while distance < size:
+        peer_send = (rank + distance) % size
+        peer_recv = (rank - distance) % size
+        step_tag = (tag, round_index)
+        yield [
+            ctx.isend(peer_send, SYNC_MESSAGE_BYTES, tag=step_tag),
+            ctx.irecv(peer_recv, tag=step_tag),
+        ]
+        distance <<= 1
+        round_index += 1
+
+
+def bcast(ctx: "RankContext", size_bytes: int, root: int = 0, tag: object = "bcast"):
+    """Binomial-tree broadcast from ``root``."""
+    size = ctx.size
+    if size == 1:
+        return
+    rank = ctx.rank
+    relative = (rank - root) % size
+    # Receive from the parent (unless root), then forward to children.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative ^ mask) if (relative ^ mask) < size else None
+            if parent is not None:
+                src = (parent + root) % size
+                yield ctx.irecv(src, tag=(tag, relative))
+            break
+        mask <<= 1
+    # Children: all ranks whose relative id is obtained by setting a higher bit.
+    mask >>= 1
+    sends = []
+    while mask > 0:
+        child_relative = relative | mask
+        if child_relative < size and child_relative != relative:
+            dst = (child_relative + root) % size
+            sends.append(ctx.isend(dst, size_bytes, tag=(tag, child_relative)))
+        mask >>= 1
+    if sends:
+        yield sends
+
+
+def reduce(ctx: "RankContext", size_bytes: int, root: int = 0, tag: object = "reduce"):
+    """Binomial-tree reduction towards ``root`` (reverse of the broadcast tree)."""
+    size = ctx.size
+    if size == 1:
+        return
+    rank = ctx.rank
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            # Send the partial result to the parent and stop participating.
+            parent = relative & ~mask
+            dst = (parent + root) % size
+            yield ctx.isend(dst, size_bytes, tag=(tag, relative))
+            return
+        # Receive from the child that will send at this round, if it exists.
+        child_relative = relative | mask
+        if child_relative < size:
+            src = (child_relative + root) % size
+            yield ctx.irecv(src, tag=(tag, child_relative))
+        mask <<= 1
+
+
+def allreduce(ctx: "RankContext", size_bytes: int, tag: object = "allreduce"):
+    """Allreduce: recursive doubling (power-of-two ranks) or ring otherwise."""
+    size = ctx.size
+    if size == 1:
+        return
+    if _is_power_of_two(size):
+        yield from _allreduce_recursive_doubling(ctx, size_bytes, tag)
+    else:
+        yield from _allreduce_ring(ctx, size_bytes, tag)
+
+
+def _allreduce_recursive_doubling(ctx: "RankContext", size_bytes: int, tag: object):
+    size = ctx.size
+    rank = ctx.rank
+    mask = 1
+    round_index = 0
+    while mask < size:
+        peer = rank ^ mask
+        step_tag = (tag, round_index)
+        yield [
+            ctx.isend(peer, size_bytes, tag=step_tag),
+            ctx.irecv(peer, tag=step_tag),
+        ]
+        mask <<= 1
+        round_index += 1
+
+
+def _allreduce_ring(ctx: "RankContext", size_bytes: int, tag: object):
+    """Ring allreduce: reduce-scatter followed by allgather, 2(P-1) steps."""
+    size = ctx.size
+    rank = ctx.rank
+    chunk = max(1, size_bytes // size)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for phase, steps in (("rs", size - 1), ("ag", size - 1)):
+        for step in range(steps):
+            step_tag = (tag, phase, step)
+            yield [
+                ctx.isend(right, chunk, tag=step_tag),
+                ctx.irecv(left, tag=step_tag),
+            ]
+
+
+def alltoall(ctx: "RankContext", size_bytes_per_pair: int, tag: object = "alltoall"):
+    """Pairwise-exchange all-to-all.
+
+    With a power-of-two number of ranks the partner at step ``k`` is
+    ``rank XOR k`` (perfect pairing); otherwise the shifted pattern
+    ``(rank ± k) mod P`` is used.  Traffic is tagged ``collective="alltoall"``
+    so the routing layer can apply the Alltoall-specific default
+    (Increasingly Minimal Bias) exactly as Cray MPICH does.
+    """
+    size = ctx.size
+    if size == 1:
+        return
+    rank = ctx.rank
+    if _is_power_of_two(size):
+        for step in range(1, size):
+            peer = rank ^ step
+            step_tag = (tag, step)
+            yield [
+                ctx.isend(peer, size_bytes_per_pair, tag=step_tag, collective="alltoall"),
+                ctx.irecv(peer, tag=step_tag),
+            ]
+    else:
+        for step in range(1, size):
+            send_peer = (rank + step) % size
+            recv_peer = (rank - step) % size
+            step_tag = (tag, step)
+            yield [
+                ctx.isend(send_peer, size_bytes_per_pair, tag=step_tag, collective="alltoall"),
+                ctx.irecv(recv_peer, tag=step_tag),
+            ]
+
+
+def allgather(ctx: "RankContext", size_bytes_per_rank: int, tag: object = "allgather"):
+    """Ring allgather: P-1 steps, each forwarding one rank's contribution."""
+    size = ctx.size
+    if size == 1:
+        return
+    rank = ctx.rank
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        step_tag = (tag, step)
+        yield [
+            ctx.isend(right, size_bytes_per_rank, tag=step_tag),
+            ctx.irecv(left, tag=step_tag),
+        ]

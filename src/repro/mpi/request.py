@@ -1,0 +1,47 @@
+"""Completion handles for non-blocking operations."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class Request:
+    """A handle for a pending send, receive, compute or collective step.
+
+    A request completes exactly once; callbacks registered before completion
+    fire at completion time, callbacks registered afterwards fire
+    immediately.
+    """
+
+    __slots__ = ("kind", "rank", "done", "completion_time", "_callbacks", "payload")
+
+    def __init__(self, kind: str, rank: int):
+        self.kind = kind
+        self.rank = rank
+        self.done = False
+        self.completion_time: Optional[int] = None
+        self._callbacks: List[Callable[["Request"], None]] = []
+        #: Optional data attached at completion (e.g. the delivered Message).
+        self.payload = None
+
+    def add_callback(self, callback: Callable[["Request"], None]) -> None:
+        """Invoke ``callback(request)`` when (or if already) complete."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def complete(self, time: int, payload=None) -> None:
+        """Mark the request complete at simulation time ``time``."""
+        if self.done:
+            raise RuntimeError(f"request {self!r} completed twice")
+        self.done = True
+        self.completion_time = time
+        self.payload = payload
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"<Request {self.kind} rank={self.rank} {state}>"

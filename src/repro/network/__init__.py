@@ -1,0 +1,37 @@
+"""Packet-level model of the Aries network.
+
+The model reproduces the mechanisms that matter for the paper's analysis:
+
+* NICs packetize application messages into 64-byte request packets (1 header
+  flit + up to 4 payload flits for PUTs), inject one flit per cycle, keep at
+  most 1024 packets outstanding, and maintain the four counters of
+  Section 2.3 (request flits, request-flit stall cycles, request packets,
+  cumulative request→response latency);
+* routers forward packets hop by hop along a source-selected path, with
+  finite per-port input buffers and credit-based flow control, so congestion
+  anywhere on a path back-pressures all the way to the sending NIC;
+* links serialize packets at one flit per cycle (per tile) and add the
+  electrical/optical wire latency;
+* every buffer-occupancy change is recorded with a timestamp so routing can
+  consume a *delayed* view of far-end congestion — the ingredient of phantom
+  congestion (Section 2.2).
+"""
+
+from repro.network.packet import Message, Packet, RdmaOp
+from repro.network.counters import NicCounters, CounterSnapshot
+from repro.network.link import Link
+from repro.network.router import Router
+from repro.network.nic import Nic
+from repro.network.network import Network
+
+__all__ = [
+    "Message",
+    "Packet",
+    "RdmaOp",
+    "NicCounters",
+    "CounterSnapshot",
+    "Link",
+    "Router",
+    "Nic",
+    "Network",
+]

@@ -1,0 +1,288 @@
+"""A directed link with credit-based flow control and packet serialization.
+
+One :class:`Link` models a directed connection (router→router, NIC→router or
+router→NIC).  The link owns
+
+* the *output queue* on its upstream side (packets waiting to traverse it) —
+  its depth in flits is the "local" congestion signal a router can read
+  instantly;
+* the *credit count* mirroring the free space of the downstream input
+  buffer — credits are consumed when a packet starts traversing the link and
+  returned (after the wire latency) once the downstream router forwards the
+  packet onward, exactly like Aries' credit flow-control scheme;
+* a timestamped history of the downstream occupancy, from which routing
+  obtains a *delayed* far-end congestion estimate (phantom congestion).
+
+Back-pressure therefore propagates naturally: a congested buffer several hops
+away eventually exhausts the credits of upstream links and finally stalls the
+sending NIC, which is what the NIC's "request flits stalled cycles" counter
+measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class Link:
+    """A directed, credit-flow-controlled link.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    name:
+        Human-readable identifier used in traces and error messages.
+    latency:
+        One-way wire latency in cycles (also used for credit returns).
+    width:
+        Number of parallel tiles: the link serializes ``width`` flits per
+        ``cycles_per_flit`` cycles and its downstream buffer scales with it.
+    buffer_flits:
+        Downstream input-buffer capacity (per tile) in flits.
+    cycles_per_flit:
+        Serialization cost of one flit on one tile.
+    deliver:
+        Callback ``deliver(packet, link)`` invoked when a packet has fully
+        arrived at the downstream end.
+    measure_stalls:
+        When True (NIC injection links), head-of-queue back-pressure stalls
+        are reported through ``on_stall``.
+    on_stall:
+        Callback ``on_stall(cycles, packet)`` used by the NIC counters.
+    deadlock_timeout:
+        Relief valve: if the head packet has been credit-stalled longer than
+        this many cycles, it proceeds anyway (emulating an escape virtual
+        channel).  Keeps pathological cyclic-dependency cases from hanging
+        the simulation; occurrences are counted in ``deadlock_reliefs``.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "latency",
+        "width",
+        "capacity",
+        "cycles_per_flit",
+        "deliver",
+        "measure_stalls",
+        "on_stall",
+        "credits",
+        "queue",
+        "queue_flits",
+        "busy_until",
+        "_retry_scheduled",
+        "_stall_start",
+        "_occ_history",
+        "_occ_delayed_value",
+        "packets_forwarded",
+        "flits_forwarded",
+        "queue_wait_cycles",
+        "deadlock_timeout",
+        "deadlock_reliefs",
+        "_stalled_since",
+        "_relief_event",
+        "on_transmit",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: int,
+        width: int,
+        buffer_flits: int,
+        cycles_per_flit: int = 1,
+        deliver: Optional[Callable[[Packet, "Link"], None]] = None,
+        measure_stalls: bool = False,
+        on_stall: Optional[Callable[[int, Packet], None]] = None,
+        deadlock_timeout: int = 200_000,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if buffer_flits < 1:
+            raise ValueError("buffer_flits must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.width = width
+        self.capacity = buffer_flits * width
+        self.cycles_per_flit = cycles_per_flit
+        self.deliver = deliver
+        self.measure_stalls = measure_stalls
+        self.on_stall = on_stall
+        self.credits = self.capacity
+        self.queue: Deque[Packet] = deque()
+        self.queue_flits = 0
+        self.busy_until = 0
+        self._retry_scheduled = False
+        self._stall_start: Optional[int] = None
+        # (time, occupancy) samples; consulted with a delay by routing.
+        self._occ_history: Deque[Tuple[int, int]] = deque()
+        self._occ_delayed_value = 0
+        self.packets_forwarded = 0
+        self.flits_forwarded = 0
+        #: Cumulative cycles packets spent waiting in this output queue — the
+        #: analogue of a network-tile stall counter (used for Table 1).
+        self.queue_wait_cycles = 0
+        self.deadlock_timeout = deadlock_timeout
+        self.deadlock_reliefs = 0
+        self._stalled_since: Optional[int] = None
+        self._relief_event = None
+        #: Optional hook called right before a packet starts traversing the
+        #: link.  Injection links use it to make the routing decision at the
+        #: exact moment the first flit leaves the NIC, so the decision sees
+        #: the freshest congestion information available.
+        self.on_transmit: Optional[Callable[[Packet], None]] = None
+
+    # -- congestion probes ---------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Current downstream-buffer occupancy in flits (capacity - credits)."""
+        return self.capacity - self.credits
+
+    def local_congestion(self) -> float:
+        """Congestion visible instantly on the upstream side: queued flits."""
+        return float(self.queue_flits)
+
+    def far_congestion(self, delay: int) -> float:
+        """Downstream occupancy as it was ``delay`` cycles ago.
+
+        With ``delay == 0`` this is the true current occupancy; a larger
+        delay reproduces stale credit information (phantom congestion).
+        """
+        if delay <= 0:
+            return float(self.occupancy)
+        horizon = self.sim.now - delay
+        # Advance the delayed pointer: drop samples older than the horizon,
+        # remembering the last one dropped — that is the value visible now.
+        hist = self._occ_history
+        while hist and hist[0][0] <= horizon:
+            self._occ_delayed_value = hist.popleft()[1]
+        return float(self._occ_delayed_value)
+
+    def total_congestion(self, delay: int, far_weight: float = 1.0) -> float:
+        """Queue depth plus (delayed) downstream occupancy — one-hop UGAL probe."""
+        return self.local_congestion() + far_weight * self.far_congestion(delay)
+
+    def _record_occupancy(self) -> None:
+        self._occ_history.append((self.sim.now, self.occupancy))
+        # Bound memory: keep the history shallow; the far-end probe only needs
+        # the most recent sample older than the delay horizon.
+        if len(self._occ_history) > 4096:
+            for _ in range(2048):
+                self._occ_delayed_value = self._occ_history.popleft()[1]
+
+    # -- sending -------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Queue a packet for transmission over this link."""
+        packet.last_enqueue_time = self.sim.now
+        self.queue.append(packet)
+        self.queue_flits += packet.flits
+        self._try_send()
+
+    def return_credits(self, flits: int) -> None:
+        """Schedule the return of ``flits`` credits after the wire latency."""
+        self.sim.schedule(self.latency, self._credits_arrived, flits)
+
+    def _credits_arrived(self, flits: int) -> None:
+        self.credits += flits
+        if self.credits > self.capacity:
+            raise RuntimeError(f"{self.name}: credit overflow ({self.credits}/{self.capacity})")
+        self._record_occupancy()
+        self._try_send()
+
+    def _serialization_cycles(self, flits: int) -> int:
+        return max(1, -(-flits // self.width) * self.cycles_per_flit)
+
+    def _try_send(self) -> None:
+        sim = self.sim
+        now = sim.now
+        if not self.queue:
+            return
+        if self.busy_until > now:
+            if not self._retry_scheduled:
+                self._retry_scheduled = True
+                sim.schedule(self.busy_until - now, self._retry)
+            return
+        packet = self.queue[0]
+        if self.credits < packet.flits:
+            # Head-of-line blocking due to missing credits.
+            if self._stalled_since is None:
+                self._stalled_since = now
+                # Guarantee a later wake-up even if no credits ever return, so
+                # the escape valve below can fire.  The event is cancelled as
+                # soon as the head packet leaves.
+                self._relief_event = sim.schedule(
+                    self.deadlock_timeout + 1, self._try_send
+                )
+            if self.measure_stalls and self._stall_start is None:
+                self._stall_start = now
+            if now - self._stalled_since >= self.deadlock_timeout:
+                # Escape valve: proceed without waiting for credits (emulates
+                # an escape virtual channel); credits may go negative and the
+                # link keeps back-pressuring until they recover.
+                self.deadlock_reliefs += 1
+                self._send_head(borrow=True)
+            return
+        self._send_head(borrow=False)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._try_send()
+
+    def _send_head(self, borrow: bool) -> None:
+        sim = self.sim
+        now = sim.now
+        packet = self.queue.popleft()
+        self.queue_flits -= packet.flits
+        self.queue_wait_cycles += now - packet.last_enqueue_time
+        self._stalled_since = None
+        if self._relief_event is not None:
+            self._relief_event.cancel()
+            self._relief_event = None
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        if self.measure_stalls and self._stall_start is not None:
+            stalled = now - self._stall_start
+            self._stall_start = None
+            if stalled > 0 and self.on_stall is not None:
+                self.on_stall(stalled, packet)
+        # Credits are always consumed so that later returns keep the
+        # accounting consistent; with ``borrow`` the balance may go negative.
+        self.credits -= packet.flits
+        self._record_occupancy()
+        if packet.inject_start_time is None and self.measure_stalls:
+            packet.inject_start_time = now
+        # Release the buffer the packet occupied at the upstream element.
+        previous = packet.holding_link
+        packet.holding_link = self
+        if previous is not None:
+            previous.return_credits(packet.flits)
+        serialization = self._serialization_cycles(packet.flits)
+        self.busy_until = now + serialization
+        self.packets_forwarded += 1
+        self.flits_forwarded += packet.flits
+        sim.schedule(serialization + self.latency, self._arrive, packet)
+        # Attempt to pipeline the next packet once the wire frees up.
+        if self.queue and not self._retry_scheduled:
+            self._retry_scheduled = True
+            sim.schedule(serialization, self._retry)
+
+    def _arrive(self, packet: Packet) -> None:
+        if self.deliver is None:
+            raise RuntimeError(f"{self.name}: no delivery callback configured")
+        self.deliver(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name} queue={len(self.queue)} credits={self.credits}/{self.capacity}>"
+        )

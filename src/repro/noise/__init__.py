@@ -1,0 +1,14 @@
+"""Background (cross-)traffic: the source of network noise.
+
+The paper defines network noise as "an external effect on application
+performance, caused by sharing resources with activities outside of the
+control of the affected application".  On the production machines this came
+from other jobs and system services; here it is produced by
+:class:`~repro.noise.background.BackgroundTraffic` generators that keep
+injecting messages between nodes *not* belonging to the measured job, over
+the same routers and links.
+"""
+
+from repro.noise.background import BackgroundTraffic, NoiseLevel, noise_nodes_for
+
+__all__ = ["BackgroundTraffic", "NoiseLevel", "noise_nodes_for"]

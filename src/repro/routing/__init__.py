@@ -1,0 +1,26 @@
+"""Routing algorithms available on the simulated Aries network.
+
+The module mirrors the modes selectable through ``MPICH_GNI_ROUTING_MODE``
+(Section 2.2):
+
+* ``ADAPTIVE_0`` — UGAL with no bias ("Adaptive");
+* ``ADAPTIVE_1`` — Increasingly Minimal Bias (default for Alltoall);
+* ``ADAPTIVE_2`` — UGAL with a low minimal bias;
+* ``ADAPTIVE_3`` — UGAL with a high minimal bias ("Adaptive with High Bias");
+* ``MIN_HASH`` — always minimal, hashed path selection;
+* ``NMIN_HASH`` — always non-minimal, hashed path selection;
+* ``IN_ORDER`` — always minimal, deterministic single path.
+"""
+
+from repro.routing.modes import RoutingMode, ADAPTIVE_MODES, DETERMINISTIC_MODES
+from repro.routing.bias import bias_for_mode
+from repro.routing.ugal import PathDecision, UgalSelector
+
+__all__ = [
+    "RoutingMode",
+    "ADAPTIVE_MODES",
+    "DETERMINISTIC_MODES",
+    "bias_for_mode",
+    "PathDecision",
+    "UgalSelector",
+]

@@ -1,0 +1,50 @@
+"""Per-mode bias values added to the non-minimal congestion estimate.
+
+The bias is what distinguishes the ``ADAPTIVE_*`` modes (Section 2.2): the
+higher the bias, the more congested a non-minimal path must appear before it
+is preferred over a minimal one, and therefore the higher the probability of
+minimal routing.  Cray does not publish the exact values; the defaults in
+:class:`repro.config.RoutingConfig` were chosen so that the *ordering*
+ADAPTIVE_0 < ADAPTIVE_2 < ADAPTIVE_3 holds and ADAPTIVE_1 sits in between,
+which is all the paper relies on.
+"""
+
+from __future__ import annotations
+
+from repro.config import RoutingConfig
+from repro.routing.modes import RoutingMode
+
+
+def bias_for_mode(
+    mode: RoutingMode,
+    config: RoutingConfig,
+    minimal_hops: int,
+) -> float:
+    """Bias (in buffer-flit units) applied to non-minimal candidates.
+
+    Parameters
+    ----------
+    mode:
+        The routing mode of the message being sent.
+    config:
+        Routing parameters holding the per-mode bias constants.
+    minimal_hops:
+        Hop count of the minimal route between the endpoints.  The
+        Increasingly-Minimal-Bias mode raises its bias with the distance the
+        packet still has to travel; with source routing we emulate the
+        "increasing along the path" behaviour by scaling with the expected
+        number of hops.
+    """
+    if mode is RoutingMode.ADAPTIVE_0:
+        return 0.0
+    if mode is RoutingMode.ADAPTIVE_2:
+        return config.low_bias
+    if mode is RoutingMode.ADAPTIVE_3:
+        return config.high_bias
+    if mode is RoutingMode.ADAPTIVE_1:
+        scaled = config.imb_base_bias + config.imb_bias_per_hop * max(
+            1, (minimal_hops + 1) // 2
+        )
+        # IMB never exceeds the explicit high-bias mode.
+        return min(scaled, config.high_bias)
+    raise ValueError(f"bias is only defined for adaptive modes, not {mode}")

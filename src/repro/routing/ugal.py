@@ -1,0 +1,163 @@
+"""UGAL-style adaptive path selection with configurable minimal bias.
+
+Every time a packet is injected, the selector samples two minimal and two
+non-minimal candidate paths (Section 2.2), estimates the congestion of each
+candidate from
+
+* the *local* output-queue depth at the source router (always current), and
+* the *far-end* occupancy of the first hop's downstream buffer, derived from
+  flow-control credits and therefore **stale** by ``credit_info_delay``
+  cycles — the source of phantom congestion,
+
+multiplies the estimate by the candidate's hop count (longer paths hurt
+more), adds the mode's bias to non-minimal candidates, and picks the lowest
+score.  Deterministic modes (``MIN_HASH``, ``NMIN_HASH``, ``IN_ORDER``) skip
+the scoring entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import RoutingConfig
+from repro.routing.bias import bias_for_mode
+from repro.routing.modes import RoutingMode
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.paths import PathSampler, hop_count_minimal
+
+Path = Tuple[int, ...]
+#: Returns the Link object carrying traffic from the first to the second router.
+LinkProbe = Callable[[int, int], "object"]
+
+
+@dataclass
+class PathDecision:
+    """Outcome of one routing decision (kept for statistics and tests)."""
+
+    path: Path
+    minimal: bool
+    score: float
+    candidates_considered: int
+
+
+class UgalSelector:
+    """Per-packet path selection for all routing modes.
+
+    Parameters
+    ----------
+    topology:
+        The Dragonfly link structure.
+    config:
+        Bias values, candidate counts and the credit-information delay.
+    rng:
+        Random stream used for candidate sampling (hashed tie-breaking).
+    link_probe:
+        Callable mapping ``(src_router, dst_router)`` to the corresponding
+        :class:`repro.network.link.Link`, used to read congestion.  It may be
+        ``None`` for purely structural uses (e.g. tests of path legality), in
+        which case congestion is treated as zero everywhere.
+    """
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        config: RoutingConfig,
+        rng: random.Random,
+        link_probe: Optional[LinkProbe] = None,
+    ):
+        self.topology = topology
+        self.config = config
+        self.rng = rng
+        self.link_probe = link_probe
+        self.sampler = PathSampler(topology, rng)
+        self.decisions = 0
+        self.minimal_decisions = 0
+        self.nonminimal_decisions = 0
+
+    # -- congestion scoring ----------------------------------------------------
+
+    def _path_score(self, path: Path) -> float:
+        """Congestion estimate of a candidate path (lower is better)."""
+        hops = len(path) - 1
+        if hops <= 0:
+            return 0.0
+        if self.link_probe is None:
+            return float(hops)
+        link = self.link_probe(path[0], path[1])
+        cfg = self.config
+        port_congestion = link.local_congestion() + cfg.far_end_weight * link.far_congestion(
+            cfg.credit_info_delay
+        )
+        return port_congestion * hops + float(hops)
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(
+        self, src_router: int, dst_router: int, mode: RoutingMode
+    ) -> PathDecision:
+        """Choose the path for one packet from ``src_router`` to ``dst_router``."""
+        if src_router == dst_router:
+            return self._record(PathDecision((src_router,), True, 0.0, 1))
+        if mode is RoutingMode.IN_ORDER:
+            path = self.sampler.all_minimal(src_router, dst_router)[0]
+            return self._record(PathDecision(path, True, self._path_score(path), 1))
+        if mode is RoutingMode.MIN_HASH:
+            path = self.sampler.minimal(src_router, dst_router)
+            return self._record(PathDecision(path, True, self._path_score(path), 1))
+        if mode is RoutingMode.NMIN_HASH:
+            path = self.sampler.nonminimal(src_router, dst_router)
+            return self._record(PathDecision(path, False, self._path_score(path), 1))
+        if not mode.is_adaptive:
+            raise ValueError(f"unsupported routing mode {mode}")
+        return self._record(self._select_adaptive(src_router, dst_router, mode))
+
+    def _select_adaptive(
+        self, src_router: int, dst_router: int, mode: RoutingMode
+    ) -> PathDecision:
+        cfg = self.config
+        if mode is RoutingMode.ADAPTIVE_0:
+            bias = 0.0
+        else:
+            minimal_hops = self.sampler.minimal_hops(src_router, dst_router)
+            bias = bias_for_mode(mode, cfg, minimal_hops)
+
+        candidates: List[Tuple[float, bool, Path]] = []
+        for _ in range(cfg.minimal_candidates):
+            path = self.sampler.minimal(src_router, dst_router)
+            candidates.append((self._path_score(path), True, path))
+        for _ in range(cfg.nonminimal_candidates):
+            path = self.sampler.nonminimal(src_router, dst_router)
+            score = self._path_score(path) * cfg.nonminimal_penalty + bias
+            candidates.append((score, False, path))
+
+        # Prefer minimal candidates on ties so a zero-bias idle network still
+        # routes minimally (matching hardware behaviour at low load).
+        best_score, best_minimal, best_path = min(
+            candidates, key=lambda item: (item[0], not item[1])
+        )
+        return PathDecision(best_path, best_minimal, best_score, len(candidates))
+
+    def _record(self, decision: PathDecision) -> PathDecision:
+        self.decisions += 1
+        if decision.minimal:
+            self.minimal_decisions += 1
+        else:
+            self.nonminimal_decisions += 1
+        return decision
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def minimal_fraction(self) -> float:
+        """Fraction of all decisions that chose a minimal path."""
+        if self.decisions == 0:
+            return 1.0
+        return self.minimal_decisions / self.decisions
+
+    def reset_statistics(self) -> None:
+        """Zero the decision counters (e.g. between experiment phases)."""
+        self.decisions = 0
+        self.minimal_decisions = 0
+        self.nonminimal_decisions = 0

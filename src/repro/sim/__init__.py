@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine used by the network model.
+
+The engine is intentionally minimal: a binary-heap event queue keyed by
+(time, sequence number) with callback-style events.  Everything in the
+network model (link traversal, credit returns, NIC injection) is expressed
+as scheduled callbacks, which keeps the per-event overhead low — important
+because a single large-message experiment schedules hundreds of thousands
+of events.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Event", "Simulator", "RandomStreams"]

@@ -1,0 +1,181 @@
+"""Callback-based discrete-event simulation core.
+
+Time is a non-negative integer number of NIC clock cycles.  Events scheduled
+for the same cycle execute in FIFO order of scheduling (stable ordering via a
+monotonically increasing sequence number), which makes simulations fully
+deterministic for a given seed.
+
+The event queue stores plain lists ``[time, seq, fn, args]`` so heap
+operations compare integers in C; cancellation simply clears the callback
+slot.  :class:`Event` is a thin handle wrapping such an entry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Event:
+    """A handle for a scheduled callback, usable to cancel it."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: list):
+        self.entry = entry
+
+    @property
+    def time(self) -> int:
+        """Absolute simulation time the event fires at."""
+        return self.entry[0]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self.entry[2] is None
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.entry[2] = None
+        self.entry[3] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.entry[0]} seq={self.entry[1]}{state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.schedule(10, hits.append, 10)
+    >>> _ = sim.schedule(5, hits.append, 5)
+    >>> sim.run()
+    >>> hits
+    [5, 10]
+    >>> sim.now
+    10
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[list] = []
+        self._events_executed: int = 0
+        self._running: bool = False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for progress accounting)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def empty(self) -> bool:
+        """Return True when no live events remain."""
+        return not any(entry[2] is not None for entry in self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; fractional delays are rounded up.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if isinstance(delay, float):
+            delay = -int(-delay // 1)
+        entry = [self._now + delay, self._seq, fn, args]
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return Event(entry)
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        return self.schedule(time - self._now, fn, *args)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next live event.  Return False if the queue is empty."""
+        queue = self._queue
+        while queue:
+            time, _seq, fn, args = heapq.heappop(queue)
+            if fn is None:
+                continue
+            self._now = time
+            self._events_executed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` cycles, or ``max_events``.
+
+        Returns the simulation time at which execution stopped.  ``until`` is
+        an absolute time: events scheduled strictly after it remain queued and
+        the clock is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        queue = self._queue
+        try:
+            while queue:
+                entry = queue[0]
+                if entry[2] is None:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(queue)
+                self._now = entry[0]
+                self._events_executed += 1
+                executed += 1
+                entry[2](*entry[3])
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain; guard against runaway simulations."""
+        self.run(max_events=max_events)
+        if not self.empty():
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events"
+            )
+        return self._now
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._now = 0
+        self._seq = 0
+        self._queue.clear()
+        self._events_executed = 0

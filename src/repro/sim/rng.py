@@ -1,0 +1,87 @@
+"""Deterministic, named random streams.
+
+Every stochastic component of the simulator (UGAL candidate sampling, OS
+noise, background traffic arrivals, allocation shuffling, …) draws from its
+own named stream derived from the master seed.  This keeps experiments
+reproducible and — crucially for the paper's methodology (Section 3.1) —
+lets us hold one source of randomness fixed (e.g. the allocation) while
+varying another (e.g. cross traffic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 63-bit stream seed from a master seed and a stream name.
+
+    Uses SHA-256 so the derived seeds are stable across Python versions and
+    processes (``hash()`` is salted and therefore unsuitable).
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+class RandomStreams:
+    """A registry of named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream with the given name."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def reseed(self, master_seed: int) -> None:
+        """Re-seed every existing stream from a new master seed."""
+        self.master_seed = master_seed
+        for name, rng in self._streams.items():
+            rng.seed(derive_seed(master_seed, name))
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create an independent child registry (e.g. one per job)."""
+        return RandomStreams(derive_seed(self.master_seed, f"spawn:{name}"))
+
+    # Convenience wrappers -------------------------------------------------
+
+    def choice(self, name: str, seq: Sequence[T]) -> T:
+        """Pick one element from ``seq`` using the named stream."""
+        return self.stream(name).choice(seq)
+
+    def sample(self, name: str, seq: Sequence[T], k: int) -> List[T]:
+        """Sample ``k`` distinct elements from ``seq`` using the named stream."""
+        return self.stream(name).sample(seq, k)
+
+    def shuffled(self, name: str, seq: Iterable[T]) -> List[T]:
+        """Return a shuffled copy of ``seq`` using the named stream."""
+        items = list(seq)
+        self.stream(name).shuffle(items)
+        return items
+
+    def uniform(self, name: str, a: float, b: float) -> float:
+        """Uniform float in [a, b) from the named stream."""
+        return self.stream(name).uniform(a, b)
+
+    def expovariate(self, name: str, mean: float) -> float:
+        """Exponential variate with the given mean from the named stream."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self.stream(name).expovariate(1.0 / mean)
+
+    def randint(self, name: str, a: int, b: int) -> int:
+        """Uniform integer in [a, b] from the named stream."""
+        return self.stream(name).randint(a, b)
+
+    def random(self, name: str) -> float:
+        """Uniform float in [0, 1) from the named stream."""
+        return self.stream(name).random()

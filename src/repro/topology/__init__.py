@@ -1,0 +1,32 @@
+"""Aries-like Dragonfly topology model.
+
+The topology follows the three connectivity tiers of the Cray Aries
+interconnect described in Section 2.1 of the paper:
+
+* **intra-chassis** ("green") links: every router is directly connected to
+  all other routers in the same chassis;
+* **intra-group** ("black") links: every router is directly connected to the
+  routers occupying the same blade slot in the other chassis of its group;
+* **inter-group** ("blue"/optical) links: each router owns a small number of
+  optical endpoints; endpoints are distributed over group pairs so that every
+  pair of groups is connected by at least one link.
+
+Routers inside a group are therefore *not* fully connected: a minimal
+intra-group path needs up to two hops (one green + one black), and a minimal
+inter-group path needs up to five hops (two in the source group, one optical,
+two in the destination group), exactly like the 5-hop example of Figure 1.
+"""
+
+from repro.topology.geometry import NodeCoord, RouterCoord
+from repro.topology.dragonfly import DragonflyTopology, LinkKind, LinkId
+from repro.topology.paths import PathSampler, hop_count_minimal
+
+__all__ = [
+    "NodeCoord",
+    "RouterCoord",
+    "DragonflyTopology",
+    "LinkKind",
+    "LinkId",
+    "PathSampler",
+    "hop_count_minimal",
+]

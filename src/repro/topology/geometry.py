@@ -1,0 +1,108 @@
+"""Coordinate systems for routers and nodes in a Dragonfly.
+
+A router (one Aries device / blade) is addressed by ``(group, chassis,
+blade)``; a compute node additionally carries the NIC index on its blade.
+Flat integer ids are used throughout the simulator for speed; the coordinate
+classes provide the conversions and human-readable labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TopologyConfig
+
+
+@dataclass(frozen=True, order=True)
+class RouterCoord:
+    """Position of an Aries router: group, chassis within group, blade slot."""
+
+    group: int
+    chassis: int
+    blade: int
+
+    def flat(self, topo: TopologyConfig) -> int:
+        """Flatten to a dense router id in ``[0, topo.num_routers)``."""
+        return (
+            self.group * topo.routers_per_group
+            + self.chassis * topo.blades_per_chassis
+            + self.blade
+        )
+
+    @classmethod
+    def from_flat(cls, router_id: int, topo: TopologyConfig) -> "RouterCoord":
+        """Inverse of :meth:`flat`."""
+        if not 0 <= router_id < topo.num_routers:
+            raise ValueError(f"router id {router_id} out of range")
+        group, rest = divmod(router_id, topo.routers_per_group)
+        chassis, blade = divmod(rest, topo.blades_per_chassis)
+        return cls(group=group, chassis=chassis, blade=blade)
+
+    def same_chassis(self, other: "RouterCoord") -> bool:
+        """True when both routers sit in the same chassis of the same group."""
+        return self.group == other.group and self.chassis == other.chassis
+
+    def same_blade_slot(self, other: "RouterCoord") -> bool:
+        """True when both routers occupy the same blade slot of the same group."""
+        return self.group == other.group and self.blade == other.blade
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``g0-c2-b7``."""
+        return f"g{self.group}-c{self.chassis}-b{self.blade}"
+
+
+@dataclass(frozen=True, order=True)
+class NodeCoord:
+    """Position of a compute node: its router plus the NIC slot on the blade."""
+
+    group: int
+    chassis: int
+    blade: int
+    slot: int
+
+    @property
+    def router(self) -> RouterCoord:
+        """The router (blade) hosting this node."""
+        return RouterCoord(self.group, self.chassis, self.blade)
+
+    def flat(self, topo: TopologyConfig) -> int:
+        """Flatten to a dense node id in ``[0, topo.num_nodes)``."""
+        return self.router.flat(topo) * topo.nodes_per_router + self.slot
+
+    @classmethod
+    def from_flat(cls, node_id: int, topo: TopologyConfig) -> "NodeCoord":
+        """Inverse of :meth:`flat`."""
+        if not 0 <= node_id < topo.num_nodes:
+            raise ValueError(f"node id {node_id} out of range")
+        router_id, slot = divmod(node_id, topo.nodes_per_router)
+        router = RouterCoord.from_flat(router_id, topo)
+        return cls(group=router.group, chassis=router.chassis, blade=router.blade, slot=slot)
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``g0-c2-b7-n3``."""
+        return f"g{self.group}-c{self.chassis}-b{self.blade}-n{self.slot}"
+
+
+def router_of_node(node_id: int, topo: TopologyConfig) -> int:
+    """Return the flat router id hosting the given flat node id."""
+    if not 0 <= node_id < topo.num_nodes:
+        raise ValueError(f"node id {node_id} out of range")
+    return node_id // topo.nodes_per_router
+
+
+def nodes_of_router(router_id: int, topo: TopologyConfig) -> range:
+    """Return the flat node ids attached to the given flat router id."""
+    if not 0 <= router_id < topo.num_routers:
+        raise ValueError(f"router id {router_id} out of range")
+    start = router_id * topo.nodes_per_router
+    return range(start, start + topo.nodes_per_router)
+
+
+def group_of_router(router_id: int, topo: TopologyConfig) -> int:
+    """Return the group index of a flat router id."""
+    return router_id // topo.routers_per_group
+
+
+def group_of_node(node_id: int, topo: TopologyConfig) -> int:
+    """Return the group index of a flat node id."""
+    return group_of_router(router_of_node(node_id, topo), topo)

@@ -1,0 +1,240 @@
+"""Minimal and non-minimal (Valiant) path sampling on the Dragonfly.
+
+UGAL-style adaptive routing (Section 2.2) randomly samples two minimal and
+two non-minimal candidate paths per packet and routes on the one estimated
+to be least congested.  This module provides the samplers; the congestion
+scoring lives in :mod:`repro.routing.ugal`.
+
+Paths are represented as tuples of flat router ids, starting at the source
+router (the router of the sending NIC) and ending at the destination router.
+A path of length one means source and destination nodes share a blade.
+
+Path sampling runs once per injected packet, so the implementation avoids
+any object construction on the hot path: router coordinates come from the
+topology's flat arrays and minimal hop counts are memoized.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.dragonfly import DragonflyTopology
+
+Path = Tuple[int, ...]
+
+
+def hop_count_minimal(topo: DragonflyTopology, src_router: int, dst_router: int) -> int:
+    """Number of router-to-router hops on a minimal path.
+
+    Intra-group distances are 0 (same router), 1 (same chassis or same blade
+    slot) or 2.  Inter-group distances add one optical hop plus the local
+    hops needed to reach/leave the gateway routers, bounded by 5.
+    """
+    if src_router == dst_router:
+        return 0
+    groups = topo.group_of_router
+    chassis = topo.chassis_of_router
+    blades = topo.blade_of_router
+    ga, gb = groups[src_router], groups[dst_router]
+    if ga == gb:
+        if chassis[src_router] == chassis[dst_router] or blades[src_router] == blades[dst_router]:
+            return 1
+        return 2
+    best = None
+    for out_router, in_router in topo.gateways(ga, gb):
+        hops = 1
+        if out_router != src_router:
+            hops += (
+                1
+                if chassis[src_router] == chassis[out_router]
+                or blades[src_router] == blades[out_router]
+                else 2
+            )
+        if in_router != dst_router:
+            hops += (
+                1
+                if chassis[in_router] == chassis[dst_router]
+                or blades[in_router] == blades[dst_router]
+                else 2
+            )
+        if best is None or hops < best:
+            best = hops
+            if best == 1:
+                break
+    assert best is not None, "groups are not connected"
+    return best
+
+
+class PathSampler:
+    """Samples minimal and non-minimal paths between routers.
+
+    Parameters
+    ----------
+    topology:
+        The Dragonfly link structure.
+    rng:
+        Random stream used for all sampling decisions; pass a dedicated
+        stream so routing randomness is reproducible independently of other
+        stochastic components.
+    """
+
+    def __init__(self, topology: DragonflyTopology, rng: random.Random):
+        self.topology = topology
+        self.rng = rng
+        cfg = topology.config
+        self._groups = topology.group_of_router
+        self._chassis = topology.chassis_of_router
+        self._blades = topology.blade_of_router
+        self._blades_per_chassis = cfg.blades_per_chassis
+        self._routers_per_group = cfg.routers_per_group
+        self._num_groups = cfg.num_groups
+        self._hops_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- fast coordinate helpers ----------------------------------------------
+
+    def _router_at(self, group: int, chassis: int, blade: int) -> int:
+        return group * self._routers_per_group + chassis * self._blades_per_chassis + blade
+
+    def minimal_hops(self, src_router: int, dst_router: int) -> int:
+        """Memoized minimal hop count (used by the UGAL bias computation)."""
+        key = (src_router, dst_router)
+        hops = self._hops_cache.get(key)
+        if hops is None:
+            hops = hop_count_minimal(self.topology, src_router, dst_router)
+            self._hops_cache[key] = hops
+        return hops
+
+    # -- intra-group helpers --------------------------------------------------
+
+    def _intra_group_minimal(self, src: int, dst: int) -> Path:
+        """A minimal path between two routers of the same group."""
+        if src == dst:
+            return (src,)
+        if self._chassis[src] == self._chassis[dst] or self._blades[src] == self._blades[dst]:
+            return (src, dst)
+        # Two-hop path: either via the router sharing src's chassis and dst's
+        # blade slot, or via the router sharing src's blade slot and dst's
+        # chassis.  Both are minimal; pick one at random like the hardware's
+        # hashed tie-breaking.
+        group = self._groups[src]
+        if self.rng.random() < 0.5:
+            via = self._router_at(group, self._chassis[src], self._blades[dst])
+        else:
+            via = self._router_at(group, self._chassis[dst], self._blades[src])
+        return (src, via, dst)
+
+    def _intra_group_all_minimal(self, src: int, dst: int) -> List[Path]:
+        """All minimal paths between two routers of the same group."""
+        if src == dst:
+            return [(src,)]
+        if self._chassis[src] == self._chassis[dst] or self._blades[src] == self._blades[dst]:
+            return [(src, dst)]
+        group = self._groups[src]
+        via1 = self._router_at(group, self._chassis[src], self._blades[dst])
+        via2 = self._router_at(group, self._chassis[dst], self._blades[src])
+        return [(src, via1, dst), (src, via2, dst)]
+
+    # -- public samplers -----------------------------------------------------
+
+    def minimal(self, src_router: int, dst_router: int) -> Path:
+        """Sample one minimal path from ``src_router`` to ``dst_router``."""
+        if src_router == dst_router:
+            return (src_router,)
+        gs = self._groups[src_router]
+        gd = self._groups[dst_router]
+        if gs == gd:
+            return self._intra_group_minimal(src_router, dst_router)
+        gateways = self.topology.gateways(gs, gd)
+        ga, gb = gateways[self.rng.randrange(len(gateways))] if len(gateways) > 1 else gateways[0]
+        head = self._intra_group_minimal(src_router, ga)
+        tail = self._intra_group_minimal(gb, dst_router)
+        # ``head`` ends at the source-side gateway and ``tail`` starts at the
+        # destination-side gateway; the optical hop joins them directly.
+        return head + tail
+
+    def nonminimal(
+        self, src_router: int, dst_router: int, intermediate: Optional[int] = None
+    ) -> Path:
+        """Sample one Valiant (non-minimal) path.
+
+        For inter-group traffic the path detours through a randomly chosen
+        *intermediate group* connected to both endpoints, doubling the number
+        of optical hops — up to 10 hops total on the largest systems, exactly
+        as described in Section 2.2.  For intra-group traffic the detour goes
+        through a random intermediate router of the same group.
+        """
+        if src_router == dst_router:
+            return (src_router,)
+        gs = self._groups[src_router]
+        gd = self._groups[dst_router]
+        rng = self.rng
+        if gs == gd:
+            if intermediate is None:
+                base = gs * self._routers_per_group
+                intermediate = base + rng.randrange(self._routers_per_group)
+                if intermediate in (src_router, dst_router):
+                    intermediate = base + rng.randrange(self._routers_per_group)
+                if intermediate in (src_router, dst_router):
+                    return self.minimal(src_router, dst_router)
+            head = self._intra_group_minimal(src_router, intermediate)
+            tail = self._intra_group_minimal(intermediate, dst_router)
+            return head + tail[1:]
+        # Inter-group: detour via an intermediate group.
+        if intermediate is None:
+            if self._num_groups <= 2:
+                return self._two_group_detour(src_router, dst_router)
+            gi = rng.randrange(self._num_groups)
+            while gi == gs or gi == gd:
+                gi = rng.randrange(self._num_groups)
+        else:
+            gi = intermediate
+        pivot = gi * self._routers_per_group + rng.randrange(self._routers_per_group)
+        head = self.minimal(src_router, pivot)
+        tail = self.minimal(pivot, dst_router)
+        return head + tail[1:]
+
+    def _two_group_detour(self, src_router: int, dst_router: int) -> Path:
+        """Non-minimal path when only two groups exist."""
+        gd = self._groups[dst_router]
+        base = gd * self._routers_per_group
+        pivot = base + self.rng.randrange(self._routers_per_group)
+        if pivot == dst_router:
+            pivot = base + (pivot - base + 1) % self._routers_per_group
+        if pivot == dst_router:
+            return self.minimal(src_router, dst_router)
+        head = self.minimal(src_router, pivot)
+        tail = self._intra_group_minimal(pivot, dst_router)
+        return head + tail[1:]
+
+    def all_minimal(self, src_router: int, dst_router: int) -> List[Path]:
+        """Enumerate every minimal path (used by tests and analysis).
+
+        The number of minimal inter-group paths grows with the number of
+        gateway connections between the two groups; the paper exploits this
+        when explaining why high-bias routing spreads inter-group traffic
+        well (Section 4.1).
+        """
+        topo = self.topology
+        if src_router == dst_router:
+            return [(src_router,)]
+        gs = self._groups[src_router]
+        gd = self._groups[dst_router]
+        if gs == gd:
+            return self._intra_group_all_minimal(src_router, dst_router)
+        paths: List[Path] = []
+        best = hop_count_minimal(topo, src_router, dst_router)
+        for ga, gb in topo.gateways(gs, gd):
+            for head in self._intra_group_all_minimal(src_router, ga):
+                for tail in self._intra_group_all_minimal(gb, dst_router):
+                    path = head + tail
+                    if len(path) - 1 == best:
+                        paths.append(path)
+        return paths
+
+    def validate_path(self, path: Sequence[int]) -> None:
+        """Assert that consecutive routers on ``path`` are directly linked."""
+        topo = self.topology
+        for a, b in zip(path, path[1:]):
+            if not topo.has_link(a, b):
+                raise AssertionError(f"path hop {a}->{b} has no physical link")

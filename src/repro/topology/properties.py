@@ -1,0 +1,121 @@
+"""Structural properties of a Dragonfly topology.
+
+These helpers are used by documentation, tests and capacity planning around
+the experiments: link census per tier, router radix, network diameter (in the
+minimal-routing sense), average minimal path length, and a bisection-style
+count of the optical links crossing a group cut.  None of this is needed on
+the simulation hot path; it exists so that a user sizing an experiment can
+reason about the machine the same way the paper reasons about Piz Daint and
+Cori (how many routers/groups a job spans, how much inter-group bandwidth is
+available, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.topology.dragonfly import DragonflyTopology, LinkKind
+from repro.topology.paths import hop_count_minimal
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Census of a Dragonfly instance."""
+
+    num_groups: int
+    routers_per_group: int
+    num_routers: int
+    num_nodes: int
+    green_links: int
+    black_links: int
+    blue_links: int
+    router_radix: int
+    diameter_hops: int
+    average_minimal_hops: float
+    min_intergroup_connections: int
+
+    @property
+    def total_fabric_links(self) -> int:
+        """All directed router-to-router links."""
+        return self.green_links + self.black_links + self.blue_links
+
+
+def link_census(topology: DragonflyTopology) -> Dict[LinkKind, int]:
+    """Number of directed links per tier."""
+    census = {LinkKind.GREEN: 0, LinkKind.BLACK: 0, LinkKind.BLUE: 0}
+    for link in topology.all_links():
+        census[link.kind] += 1
+    return census
+
+
+def router_radix(topology: DragonflyTopology) -> int:
+    """Maximum number of fabric neighbours of any router."""
+    return max(len(topology.neighbors(r)) for r in range(topology.num_routers))
+
+
+def diameter_hops(topology: DragonflyTopology) -> int:
+    """Maximum minimal-route hop count over all router pairs.
+
+    For an Aries-like Dragonfly this is at most 5 (two local hops, one
+    optical hop, two local hops); smaller geometries may have a smaller
+    diameter.  The computation is O(R²) and intended for the small/medium
+    topologies used in experiments.
+    """
+    best = 0
+    for a in range(topology.num_routers):
+        for b in range(a + 1, topology.num_routers):
+            best = max(best, hop_count_minimal(topology, a, b))
+    return best
+
+
+def average_minimal_hops(topology: DragonflyTopology, sample_stride: int = 1) -> float:
+    """Mean minimal-route hop count over (a sample of) router pairs."""
+    if sample_stride < 1:
+        raise ValueError("sample_stride must be >= 1")
+    total = 0
+    count = 0
+    for a in range(0, topology.num_routers, sample_stride):
+        for b in range(0, topology.num_routers, sample_stride):
+            if a == b:
+                continue
+            total += hop_count_minimal(topology, a, b)
+            count += 1
+    return total / count if count else 0.0
+
+
+def min_intergroup_connections(topology: DragonflyTopology) -> int:
+    """Smallest number of optical connections between any pair of groups.
+
+    This bounds the minimal-path diversity available to inter-group traffic —
+    the quantity that lets high-bias routing spread large transfers over
+    several minimal paths (Section 4.1 of the paper).
+    """
+    groups = topology.config.num_groups
+    if groups < 2:
+        return 0
+    return min(
+        len(topology.gateways(a, b))
+        for a in range(groups)
+        for b in range(groups)
+        if a != b
+    )
+
+
+def summarize_topology(topology: DragonflyTopology, sample_stride: int = 1) -> TopologySummary:
+    """Full census of a topology (used by documentation and experiments)."""
+    census = link_census(topology)
+    cfg = topology.config
+    return TopologySummary(
+        num_groups=cfg.num_groups,
+        routers_per_group=cfg.routers_per_group,
+        num_routers=cfg.num_routers,
+        num_nodes=cfg.num_nodes,
+        green_links=census[LinkKind.GREEN],
+        black_links=census[LinkKind.BLACK],
+        blue_links=census[LinkKind.BLUE],
+        router_radix=router_radix(topology),
+        diameter_hops=diameter_hops(topology),
+        average_minimal_hops=average_minimal_hops(topology, sample_stride),
+        min_intergroup_connections=min_intergroup_connections(topology),
+    )

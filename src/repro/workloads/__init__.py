@@ -1,0 +1,43 @@
+"""Workloads: the microbenchmarks and application proxies of the evaluation.
+
+Microbenchmarks (Section 5.1): ping-pong, allreduce, alltoall, barrier,
+broadcast, halo3d (ember), sweep3d (ember).
+
+Applications (Section 5.2): communication-pattern proxies for CP2K, WRF
+(baroclinic wave and tropical cyclone), LAMMPS, Quantum Espresso, Nekbone,
+VPFFT, Amber, MILC/su3_rmd, HPCG, Graph500 BFS and SSSP, and FFTW — each
+modelled as the sequence of collective/point-to-point phases plus compute
+bursts that dominates its communication behaviour.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.microbench import (
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    BarrierBenchmark,
+    BroadcastBenchmark,
+    PingPongBenchmark,
+)
+from repro.workloads.stencils import Halo3DBenchmark, Sweep3DBenchmark
+from repro.workloads.apps import (
+    ApplicationProxy,
+    Phase,
+    application_catalog,
+    make_application,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "PingPongBenchmark",
+    "AllreduceBenchmark",
+    "AlltoallBenchmark",
+    "BarrierBenchmark",
+    "BroadcastBenchmark",
+    "Halo3DBenchmark",
+    "Sweep3DBenchmark",
+    "ApplicationProxy",
+    "Phase",
+    "application_catalog",
+    "make_application",
+]

@@ -1,0 +1,234 @@
+"""Application proxies (Section 5.2).
+
+The evaluated applications differ — for the purposes of this paper — only in
+their *communication pattern*, *message sizes/intensity* and *compute /
+communication overlap* (which determines how well they absorb network noise).
+Each proxy is a :class:`ApplicationProxy` workload built from a list of
+:class:`Phase` objects capturing exactly those three aspects; the mapping is
+documented per application in :func:`application_catalog`.
+
+The absolute compute-burst lengths are not calibrated against the real codes
+(that is impossible without the machines); they are chosen so that the
+*relative* communication intensities across the catalog match the paper's
+qualitative description (e.g. halo3d is communication-only, MILC has the same
+pattern but interleaves computation, Amber is compute-dominated, FFT/VPFFT
+are alltoall-dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.mpi.job import RankContext
+from repro.workloads.base import Workload
+from repro.workloads.stencils import ELEMENT_BYTES, balanced_3d_grid
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One communication/compute phase of an application iteration.
+
+    ``pattern`` is one of ``"allreduce"``, ``"alltoall"``, ``"bcast"``,
+    ``"allgather"``, ``"halo"``, ``"pairwise"`` (exchange with a fixed
+    partner) or ``"compute"``.  ``size_bytes`` is per message (per pair for
+    alltoall, per face for halo); ``repeat`` repeats the phase back-to-back;
+    ``compute_cycles`` is executed after the communication of the phase.
+    """
+
+    pattern: str
+    size_bytes: int = 0
+    repeat: int = 1
+    compute_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        valid = {"allreduce", "alltoall", "bcast", "allgather", "halo", "pairwise", "compute"}
+        if self.pattern not in valid:
+            raise ValueError(f"unknown phase pattern {self.pattern!r}")
+        if self.size_bytes < 0 or self.repeat < 1 or self.compute_cycles < 0:
+            raise ValueError("invalid phase parameters")
+
+
+class ApplicationProxy(Workload):
+    """A workload defined by a sequence of phases per iteration."""
+
+    name = "application"
+
+    def __init__(
+        self,
+        app_name: str,
+        phases: Sequence[Phase],
+        iterations: int = 3,
+        warmup: int = 1,
+    ):
+        super().__init__(iterations=iterations, warmup=warmup, app=app_name)
+        if not phases:
+            raise ValueError("an application proxy needs at least one phase")
+        self.name = app_name
+        self.phases = list(phases)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _halo_neighbours(self, ctx: RankContext) -> List[int]:
+        px, py, pz = balanced_3d_grid(ctx.size)
+        x = ctx.rank % px
+        y = (ctx.rank // px) % py
+        z = ctx.rank // (px * py)
+        neighbours = []
+        for dim, coord, extent in ((0, x, px), (1, y, py), (2, z, pz)):
+            for delta in (-1, 1):
+                val = coord + delta
+                if 0 <= val < extent:
+                    coords = [x, y, z]
+                    coords[dim] = val
+                    neighbours.append(coords[0] + coords[1] * px + coords[2] * px * py)
+        return neighbours
+
+    def _run_phase(self, ctx: RankContext, phase: Phase, iteration: int, index: int):
+        tag_base = (self.name, iteration, index)
+        for rep in range(phase.repeat):
+            tag = (*tag_base, rep)
+            if phase.pattern == "allreduce":
+                yield from ctx.allreduce(phase.size_bytes, tag=("ar", tag))
+            elif phase.pattern == "alltoall":
+                yield from ctx.alltoall(phase.size_bytes, tag=("a2a", tag))
+            elif phase.pattern == "bcast":
+                yield from ctx.bcast(phase.size_bytes, root=0, tag=("bc", tag))
+            elif phase.pattern == "allgather":
+                yield from ctx.allgather(phase.size_bytes, tag=("ag", tag))
+            elif phase.pattern == "halo":
+                requests = []
+                for neighbour in self._halo_neighbours(ctx):
+                    pair = tuple(sorted((ctx.rank, neighbour)))
+                    requests.append(
+                        ctx.isend(neighbour, phase.size_bytes, tag=("halo", tag, pair, ctx.rank))
+                    )
+                    requests.append(
+                        ctx.irecv(neighbour, tag=("halo", tag, pair, neighbour))
+                    )
+                if requests:
+                    yield requests
+            elif phase.pattern == "pairwise":
+                partner = ctx.rank ^ 1
+                if partner < ctx.size:
+                    yield from ctx.sendrecv(
+                        partner, partner, phase.size_bytes, tag=("pw", tag)
+                    )
+            elif phase.pattern == "compute":
+                pass  # compute handled below
+            if phase.compute_cycles:
+                yield ctx.compute(phase.compute_cycles)
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        for index, phase in enumerate(self.phases):
+            yield from self._run_phase(ctx, phase, iteration, index)
+
+
+# -- the catalogue ------------------------------------------------------------------
+
+
+def application_catalog(scale: float = 1.0) -> Dict[str, List[Phase]]:
+    """Phase recipes for every application in Figure 10.
+
+    ``scale`` multiplies all message sizes, allowing the experiments to run
+    the same patterns at reduced scale on the simulator.
+    """
+
+    def s(bytes_: int) -> int:
+        return max(8, int(bytes_ * scale))
+
+    return {
+        # Atomistic/molecular simulation: FFT transposes (alltoall) plus dense
+        # linear-algebra reductions, moderate compute.
+        "cp2k": [
+            Phase("alltoall", s(4 * 1024), repeat=2, compute_cycles=4_000),
+            Phase("allreduce", s(8 * 1024), repeat=2, compute_cycles=4_000),
+            Phase("compute", compute_cycles=20_000),
+        ],
+        # WRF baroclinic wave: 2D halo exchange with large faces, compute-heavy.
+        "wrf-b": [
+            Phase("halo", s(48 * 1024), repeat=2, compute_cycles=12_000),
+            Phase("allreduce", s(256), compute_cycles=6_000),
+            Phase("compute", compute_cycles=30_000),
+        ],
+        # WRF tropical cyclone: same pattern, smaller domain per rank.
+        "wrf-t": [
+            Phase("halo", s(24 * 1024), repeat=2, compute_cycles=10_000),
+            Phase("allreduce", s(256), compute_cycles=5_000),
+            Phase("compute", compute_cycles=24_000),
+        ],
+        # LAMMPS: nearest-neighbour ghost exchange plus small reductions.
+        "lammps": [
+            Phase("halo", s(16 * 1024), repeat=3, compute_cycles=8_000),
+            Phase("allreduce", s(64), repeat=2, compute_cycles=2_000),
+            Phase("compute", compute_cycles=25_000),
+        ],
+        # Quantum Espresso: 3D FFTs dominate — alltoall heavy, some reductions.
+        "qe": [
+            Phase("alltoall", s(8 * 1024), repeat=3, compute_cycles=3_000),
+            Phase("allreduce", s(4 * 1024), compute_cycles=2_000),
+            Phase("compute", compute_cycles=10_000),
+        ],
+        # Nekbone: conjugate-gradient solver — frequent small allreduces plus
+        # nearest-neighbour exchanges.
+        "nekbone": [
+            Phase("allreduce", s(64), repeat=6, compute_cycles=1_500),
+            Phase("halo", s(8 * 1024), repeat=2, compute_cycles=3_000),
+            Phase("compute", compute_cycles=8_000),
+        ],
+        # VPFFT: mesoscale micromechanics, dominated by repeated 3D FFTs.
+        "vpfft": [
+            Phase("alltoall", s(16 * 1024), repeat=3, compute_cycles=2_000),
+            Phase("compute", compute_cycles=6_000),
+        ],
+        # Amber: compute-dominated molecular dynamics with small reductions.
+        "amber": [
+            Phase("allreduce", s(128), repeat=4, compute_cycles=2_000),
+            Phase("halo", s(4 * 1024), compute_cycles=4_000),
+            Phase("compute", compute_cycles=60_000),
+        ],
+        # MILC su3_rmd: 4D stencil like halo3d but interleaved with compute —
+        # same pattern as halo3d, lower traffic intensity (Section 5.2).
+        "milc": [
+            Phase("halo", s(12 * 1024), repeat=2, compute_cycles=10_000),
+            Phase("allreduce", s(64), repeat=2, compute_cycles=2_000),
+            Phase("compute", compute_cycles=20_000),
+        ],
+        # HPCG: sparse SpMV halo exchanges plus dot-product reductions.
+        "hpcg": [
+            Phase("halo", s(6 * 1024), repeat=2, compute_cycles=5_000),
+            Phase("allreduce", s(32), repeat=3, compute_cycles=1_500),
+            Phase("compute", compute_cycles=12_000),
+        ],
+        # Graph500 BFS: irregular, bursty all-to-all of small messages plus
+        # frontier-size reductions; little compute.
+        "bfs": [
+            Phase("alltoall", s(2 * 1024), repeat=2, compute_cycles=1_000),
+            Phase("allreduce", s(16), repeat=2, compute_cycles=500),
+        ],
+        # Graph500 SSSP: like BFS with more relaxation rounds.
+        "sssp": [
+            Phase("alltoall", s(1024), repeat=3, compute_cycles=1_000),
+            Phase("allreduce", s(16), repeat=3, compute_cycles=500),
+        ],
+        # FFTW benchmark: transpose-dominated — large alltoall, minimal compute.
+        "fft": [
+            Phase("alltoall", s(32 * 1024), repeat=2, compute_cycles=1_000),
+        ],
+    }
+
+
+def make_application(
+    name: str,
+    iterations: int = 3,
+    warmup: int = 1,
+    scale: float = 1.0,
+) -> ApplicationProxy:
+    """Instantiate an application proxy from the catalogue by name."""
+    catalog = application_catalog(scale)
+    key = name.lower()
+    if key not in catalog:
+        raise KeyError(
+            f"unknown application {name!r}; available: {', '.join(sorted(catalog))}"
+        )
+    return ApplicationProxy(key, catalog[key], iterations=iterations, warmup=warmup)

@@ -1,0 +1,119 @@
+"""Workload abstraction and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mpi.job import MpiJob, RankContext
+
+
+@dataclass
+class WorkloadResult:
+    """Per-iteration measurements collected by a workload run."""
+
+    workload: str
+    parameters: Dict[str, object]
+    #: Wall-clock (simulated cycles) of each measured iteration, at rank 0.
+    iteration_times: List[int] = field(default_factory=list)
+    #: Fraction of bytes routed with the Default family (Figures 8–10 label).
+    default_traffic_fraction: float = 1.0
+    #: Label of the routing policy that produced this result.
+    policy: str = ""
+    #: Simulation time when the run finished.
+    finished_at: int = 0
+
+    def median_time(self) -> float:
+        """Median iteration time (cycles)."""
+        if not self.iteration_times:
+            raise ValueError("no iterations recorded")
+        ordered = sorted(self.iteration_times)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return float(ordered[mid])
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def mean_time(self) -> float:
+        """Mean iteration time (cycles)."""
+        if not self.iteration_times:
+            raise ValueError("no iterations recorded")
+        return sum(self.iteration_times) / len(self.iteration_times)
+
+
+class Workload:
+    """Base class for rank programs with per-iteration timing.
+
+    Subclasses implement :meth:`iteration`, a generator performing one
+    measured iteration for one rank.  The surrounding protocol (start-up
+    barrier, warm-up iterations, per-iteration barriers, timing at rank 0)
+    is shared, mirroring how the paper's microbenchmarks alternate routing
+    algorithms on successive, barrier-separated iterations.
+    """
+
+    #: Short identifier used in reports (subclasses override).
+    name = "workload"
+
+    def __init__(self, iterations: int = 5, warmup: int = 1, **parameters):
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.iterations = iterations
+        self.warmup = warmup
+        self.parameters = dict(parameters)
+        self.iteration_times: List[int] = []
+        #: Set by the per-iteration hook of the experiment harness, if any.
+        self.on_iteration = None
+
+    # -- to be provided by subclasses ------------------------------------------
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        """One measured iteration for one rank (generator)."""
+        raise NotImplementedError
+
+    def participates(self, ctx: RankContext) -> bool:
+        """Whether a rank takes part in the measured communication."""
+        return True
+
+    # -- program -----------------------------------------------------------------
+
+    def program(self, ctx: RankContext):
+        """The full per-rank program (warm-up + measured iterations)."""
+        total = self.warmup + self.iterations
+        for index in range(total):
+            yield from ctx.barrier(tag=(self.name, "sync", index))
+            start = ctx.now
+            if self.participates(ctx):
+                yield from self.iteration(ctx, index)
+            yield from ctx.barrier(tag=(self.name, "done", index))
+            if ctx.rank == 0 and index >= self.warmup:
+                elapsed = ctx.now - start
+                self.iteration_times.append(elapsed)
+                if self.on_iteration is not None:
+                    self.on_iteration(index - self.warmup, elapsed)
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, job: MpiJob) -> WorkloadResult:
+        """Execute the workload on a job and collect the result."""
+        self.iteration_times = []
+        finished_at = job.run(self.program)
+        return WorkloadResult(
+            workload=self.name,
+            parameters={
+                "iterations": self.iterations,
+                "warmup": self.warmup,
+                "ranks": job.size,
+                **self.parameters,
+            },
+            iteration_times=list(self.iteration_times),
+            default_traffic_fraction=job.default_traffic_fraction(),
+            policy=job.policy_label(),
+            finished_at=finished_at,
+        )
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+        return f"{self.name}({params})"

@@ -1,0 +1,123 @@
+"""MPI microbenchmarks (Section 5.1, first five entries of Figure 8)."""
+
+from __future__ import annotations
+
+from repro.mpi.job import RankContext
+from repro.workloads.base import Workload
+
+#: Bytes per element of the allreduce array (the paper reduces integers).
+ALLREDUCE_ELEMENT_BYTES = 4
+
+
+class PingPongBenchmark(Workload):
+    """Ping-pong between two ranks.
+
+    Rank ``rank_a`` sends ``size_bytes`` to ``rank_b`` and waits for an
+    equally sized reply; one iteration is ``pingpongs_per_iteration`` such
+    round trips.  The remaining ranks (if any) only take part in the
+    synchronization barriers, mirroring how a two-node ping-pong is run
+    inside a larger allocation.
+    """
+
+    name = "pingpong"
+
+    def __init__(
+        self,
+        size_bytes: int = 16 * 1024,
+        iterations: int = 5,
+        warmup: int = 1,
+        rank_a: int = 0,
+        rank_b: int = 1,
+        pingpongs_per_iteration: int = 1,
+    ):
+        super().__init__(
+            iterations=iterations,
+            warmup=warmup,
+            size_bytes=size_bytes,
+            rank_a=rank_a,
+            rank_b=rank_b,
+            pingpongs_per_iteration=pingpongs_per_iteration,
+        )
+        if rank_a == rank_b:
+            raise ValueError("ping-pong needs two distinct ranks")
+        self.size_bytes = size_bytes
+        self.rank_a = rank_a
+        self.rank_b = rank_b
+        self.pingpongs_per_iteration = pingpongs_per_iteration
+
+    def participates(self, ctx: RankContext) -> bool:
+        return ctx.rank in (self.rank_a, self.rank_b)
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        for rep in range(self.pingpongs_per_iteration):
+            ping = ("ping", iteration, rep)
+            pong = ("pong", iteration, rep)
+            if ctx.rank == self.rank_a:
+                yield ctx.isend(self.rank_b, self.size_bytes, tag=ping)
+                yield ctx.irecv(self.rank_b, tag=pong)
+            else:
+                yield ctx.irecv(self.rank_a, tag=ping)
+                yield ctx.isend(self.rank_a, self.size_bytes, tag=pong)
+
+
+class AllreduceBenchmark(Workload):
+    """Sum-reduction allreduce; the input size is the number of elements."""
+
+    name = "allreduce"
+
+    def __init__(self, elements: int = 1024, iterations: int = 5, warmup: int = 1):
+        super().__init__(iterations=iterations, warmup=warmup, elements=elements)
+        if elements < 1:
+            raise ValueError("elements must be >= 1")
+        self.elements = elements
+        self.size_bytes = elements * ALLREDUCE_ELEMENT_BYTES
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        yield from ctx.allreduce(self.size_bytes, tag=("ar", iteration))
+
+
+class AlltoallBenchmark(Workload):
+    """All-to-all personalized exchange of ``size_bytes`` per rank pair."""
+
+    name = "alltoall"
+
+    def __init__(self, size_bytes: int = 1024, iterations: int = 5, warmup: int = 1):
+        super().__init__(iterations=iterations, warmup=warmup, size_bytes=size_bytes)
+        self.size_bytes = size_bytes
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        yield from ctx.alltoall(self.size_bytes, tag=("a2a", iteration))
+
+
+class BarrierBenchmark(Workload):
+    """A number of back-to-back barriers per iteration."""
+
+    name = "barrier"
+
+    def __init__(self, barriers_per_iteration: int = 8, iterations: int = 5, warmup: int = 1):
+        super().__init__(
+            iterations=iterations,
+            warmup=warmup,
+            barriers_per_iteration=barriers_per_iteration,
+        )
+        if barriers_per_iteration < 1:
+            raise ValueError("barriers_per_iteration must be >= 1")
+        self.barriers_per_iteration = barriers_per_iteration
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        for rep in range(self.barriers_per_iteration):
+            yield from ctx.barrier(tag=("bar", iteration, rep))
+
+
+class BroadcastBenchmark(Workload):
+    """Binomial broadcast of ``size_bytes`` from rank 0."""
+
+    name = "broadcast"
+
+    def __init__(self, size_bytes: int = 16 * 1024, iterations: int = 5, warmup: int = 1, root: int = 0):
+        super().__init__(iterations=iterations, warmup=warmup, size_bytes=size_bytes, root=root)
+        self.size_bytes = size_bytes
+        self.root = root
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        yield from ctx.bcast(self.size_bytes, root=self.root, tag=("bc", iteration))

@@ -1,0 +1,198 @@
+"""Stencil/wavefront microbenchmarks from the Ember suite (halo3d, sweep3d)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.mpi.job import RankContext
+from repro.workloads.base import Workload
+
+#: Bytes per grid point exchanged (double precision).
+ELEMENT_BYTES = 8
+
+
+def balanced_3d_grid(ranks: int) -> Tuple[int, int, int]:
+    """Factor ``ranks`` into the most cube-like ``px × py × pz`` grid."""
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    best = (ranks, 1, 1)
+    best_score = None
+    for px in range(1, ranks + 1):
+        if ranks % px:
+            continue
+        rem = ranks // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            pz = rem // py
+            dims = tuple(sorted((px, py, pz), reverse=True))
+            score = dims[0] - dims[2]
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    return best
+
+
+def balanced_2d_grid(ranks: int) -> Tuple[int, int]:
+    """Factor ``ranks`` into the most square ``px × py`` grid."""
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    px = int(math.isqrt(ranks))
+    while px > 1 and ranks % px:
+        px -= 1
+    return px, ranks // px
+
+
+class Halo3DBenchmark(Workload):
+    """Nearest-neighbour exchange on a 3D domain (ember ``halo3d``).
+
+    Ranks are arranged in a ``px × py × pz`` cube; every iteration each rank
+    exchanges one face with each of its (up to six) neighbours.  The input
+    size is the edge length of the *global* domain; the per-face message size
+    follows from the local block dimensions.
+    """
+
+    name = "halo3d"
+
+    def __init__(self, domain: int = 256, iterations: int = 5, warmup: int = 1,
+                 compute_cycles: int = 0):
+        super().__init__(
+            iterations=iterations, warmup=warmup, domain=domain,
+            compute_cycles=compute_cycles,
+        )
+        if domain < 1:
+            raise ValueError("domain must be >= 1")
+        self.domain = domain
+        self.compute_cycles = compute_cycles
+        self._grid = None
+
+    # -- geometry helpers -------------------------------------------------------
+
+    def _geometry(self, ctx: RankContext):
+        if self._grid is None or self._grid[0] != ctx.size:
+            px, py, pz = balanced_3d_grid(ctx.size)
+            nx = max(1, self.domain // px)
+            ny = max(1, self.domain // py)
+            nz = max(1, self.domain // pz)
+            self._grid = (ctx.size, (px, py, pz), (nx, ny, nz))
+        return self._grid[1], self._grid[2]
+
+    def _coords(self, rank: int, grid) -> Tuple[int, int, int]:
+        px, py, pz = grid
+        x = rank % px
+        y = (rank // px) % py
+        z = rank // (px * py)
+        return x, y, z
+
+    def _rank_of(self, coords, grid) -> int:
+        px, py, pz = grid
+        x, y, z = coords
+        return x + y * px + z * px * py
+
+    def neighbours(self, ctx: RankContext) -> List[Tuple[int, int]]:
+        """Neighbour ranks and the byte size of the face shared with them."""
+        grid, local = self._geometry(ctx)
+        px, py, pz = grid
+        nx, ny, nz = local
+        x, y, z = self._coords(ctx.rank, grid)
+        faces = []
+        face_sizes = {
+            "x": ny * nz * ELEMENT_BYTES,
+            "y": nx * nz * ELEMENT_BYTES,
+            "z": nx * ny * ELEMENT_BYTES,
+        }
+        for axis, (dim, coord, extent) in {
+            "x": (0, x, px), "y": (1, y, py), "z": (2, z, pz)
+        }.items():
+            for delta in (-1, 1):
+                neighbour = coord + delta
+                if 0 <= neighbour < extent:
+                    coords = [x, y, z]
+                    coords[dim] = neighbour
+                    faces.append((self._rank_of(coords, grid), face_sizes[axis]))
+        return faces
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        requests = []
+        for neighbour, size in self.neighbours(ctx):
+            tag = ("halo", iteration, *sorted((ctx.rank, neighbour)))
+            requests.append(ctx.isend(neighbour, size, tag=(tag, ctx.rank)))
+            requests.append(ctx.irecv(neighbour, tag=(tag, neighbour)))
+        if requests:
+            yield requests
+        if self.compute_cycles:
+            yield ctx.compute(self.compute_cycles)
+
+
+class Sweep3DBenchmark(Workload):
+    """Wavefront sweep over a 3D grid (ember ``sweep3d``).
+
+    Ranks form a 2D ``px × py`` grid; a sweep starts at one corner and
+    propagates: each rank receives from its west and north neighbours,
+    "computes" a block of planes, and sends to its east and south neighbours.
+    The domain is swept in ``kba_blocks`` chunks along the vertical axis, so
+    each rank sends several smaller messages per sweep — the characteristic
+    pipeline pattern of sweep3d.
+    """
+
+    name = "sweep3d"
+
+    def __init__(
+        self,
+        domain: int = 256,
+        iterations: int = 5,
+        warmup: int = 1,
+        kba_blocks: int = 4,
+        compute_cycles_per_block: int = 200,
+    ):
+        super().__init__(
+            iterations=iterations,
+            warmup=warmup,
+            domain=domain,
+            kba_blocks=kba_blocks,
+        )
+        if domain < 1:
+            raise ValueError("domain must be >= 1")
+        if kba_blocks < 1:
+            raise ValueError("kba_blocks must be >= 1")
+        self.domain = domain
+        self.kba_blocks = kba_blocks
+        self.compute_cycles_per_block = compute_cycles_per_block
+
+    def _geometry(self, ctx: RankContext):
+        px, py = balanced_2d_grid(ctx.size)
+        nx = max(1, self.domain // px)
+        ny = max(1, self.domain // py)
+        nz = max(1, self.domain)
+        return (px, py), (nx, ny, nz)
+
+    def iteration(self, ctx: RankContext, iteration: int):
+        (px, py), (nx, ny, nz) = self._geometry(ctx)
+        x = ctx.rank % px
+        y = ctx.rank // px
+        west = ctx.rank - 1 if x > 0 else None
+        east = ctx.rank + 1 if x < px - 1 else None
+        north = ctx.rank - px if y > 0 else None
+        south = ctx.rank + px if y < py - 1 else None
+        block_planes = max(1, nz // self.kba_blocks)
+        west_east_bytes = ny * block_planes * ELEMENT_BYTES
+        north_south_bytes = nx * block_planes * ELEMENT_BYTES
+        for block in range(self.kba_blocks):
+            tag = ("sweep", iteration, block)
+            receives = []
+            if west is not None:
+                receives.append(ctx.irecv(west, tag=(tag, "we", west)))
+            if north is not None:
+                receives.append(ctx.irecv(north, tag=(tag, "ns", north)))
+            if receives:
+                yield receives
+            if self.compute_cycles_per_block:
+                yield ctx.compute(self.compute_cycles_per_block)
+            sends = []
+            if east is not None:
+                sends.append(ctx.isend(east, west_east_bytes, tag=(tag, "we", ctx.rank)))
+            if south is not None:
+                sends.append(ctx.isend(south, north_south_bytes, tag=(tag, "ns", ctx.rank)))
+            if sends:
+                yield sends

@@ -1,0 +1,157 @@
+"""Tests for job allocations and allocation policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.job import JobAllocation
+from repro.allocation.policies import (
+    AllocationPolicy,
+    allocate,
+    allocate_contiguous,
+    allocate_inter_blade_pair,
+    allocate_inter_chassis_pair,
+    allocate_inter_group_pair,
+    allocate_intra_blade_pair,
+    allocate_round_robin_groups,
+    allocate_scattered,
+    figure3_allocations,
+)
+from repro.config import TopologyConfig
+from repro.topology.geometry import group_of_node, router_of_node
+
+
+TOPO = TopologyConfig()  # 4 groups x 2 chassis x 4 blades x 4 nodes
+
+
+class TestJobAllocation:
+    def test_basic_properties(self):
+        allocation = JobAllocation.of([0, 5, 9], name="x")
+        assert len(allocation) == 3
+        assert list(allocation) == [0, 5, 9]
+        assert allocation[1] == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            JobAllocation.of([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            JobAllocation.of([1, 1])
+
+    def test_router_and_group_spans(self):
+        allocation = JobAllocation.of([0, 1, 2, 3, 4])
+        assert len(allocation.routers(TOPO)) == 2  # nodes 0-3 on router 0, node 4 on router 1
+        assert allocation.groups(TOPO) == [0]
+
+    def test_span_summary_and_describe(self):
+        allocation = JobAllocation.of([0, TOPO.num_nodes - 1], name="pair")
+        summary = allocation.span_summary(TOPO)
+        assert summary == {"nodes": 2, "routers": 2, "groups": 2}
+        assert "pair" in allocation.describe(TOPO)
+
+    def test_coordinates(self):
+        allocation = JobAllocation.of([0])
+        coords = allocation.coordinates(TOPO)
+        assert coords[0].group == 0 and coords[0].slot == 0
+
+
+class TestPairAllocations:
+    def test_intra_blade_pair_shares_router(self):
+        pair = allocate_intra_blade_pair(TOPO)
+        assert router_of_node(pair[0], TOPO) == router_of_node(pair[1], TOPO)
+
+    def test_inter_blade_pair_same_chassis_different_router(self):
+        pair = allocate_inter_blade_pair(TOPO)
+        r0, r1 = (router_of_node(n, TOPO) for n in pair)
+        assert r0 != r1
+        assert group_of_node(pair[0], TOPO) == group_of_node(pair[1], TOPO)
+
+    def test_inter_chassis_pair(self):
+        pair = allocate_inter_chassis_pair(TOPO)
+        assert group_of_node(pair[0], TOPO) == group_of_node(pair[1], TOPO)
+        r0, r1 = (router_of_node(n, TOPO) for n in pair)
+        assert (r0 // TOPO.blades_per_chassis) != (r1 // TOPO.blades_per_chassis)
+
+    def test_inter_group_pair(self):
+        pair = allocate_inter_group_pair(TOPO)
+        assert group_of_node(pair[0], TOPO) != group_of_node(pair[1], TOPO)
+
+    def test_inter_group_pair_explicit_groups(self):
+        pair = allocate_inter_group_pair(TOPO, group_a=1, group_b=3)
+        assert group_of_node(pair[0], TOPO) == 1
+        assert group_of_node(pair[1], TOPO) == 3
+
+    def test_inter_group_same_group_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_inter_group_pair(TOPO, group_a=1, group_b=1)
+
+    def test_figure3_order(self):
+        allocations = figure3_allocations(TOPO)
+        assert [a.name for a in allocations] == [
+            "inter-nodes",
+            "inter-blades",
+            "inter-chassis",
+            "inter-groups",
+        ]
+
+    def test_single_node_per_router_rejected_for_intra_blade(self):
+        topo = TopologyConfig(nodes_per_router=1)
+        with pytest.raises(ValueError):
+            allocate_intra_blade_pair(topo)
+
+
+class TestMultiNodeAllocations:
+    def test_contiguous(self):
+        allocation = allocate_contiguous(TOPO, 16)
+        assert list(allocation) == list(range(16))
+
+    def test_contiguous_offset(self):
+        allocation = allocate_contiguous(TOPO, 8, first_node=4)
+        assert list(allocation) == list(range(4, 12))
+
+    def test_contiguous_too_large(self):
+        with pytest.raises(ValueError):
+            allocate_contiguous(TOPO, TOPO.num_nodes + 1)
+
+    def test_round_robin_spans_groups(self):
+        allocation = allocate_round_robin_groups(TOPO, 8)
+        assert len(allocation.groups(TOPO)) == TOPO.num_groups
+
+    def test_round_robin_too_large(self):
+        with pytest.raises(ValueError):
+            allocate_round_robin_groups(TOPO, TOPO.num_nodes + 1)
+
+    def test_scattered_no_duplicates_and_respects_exclude(self):
+        rng = random.Random(0)
+        exclude = list(range(10))
+        allocation = allocate_scattered(TOPO, 20, rng, exclude=exclude)
+        assert len(set(allocation)) == 20
+        assert not set(allocation) & set(exclude)
+
+    def test_scattered_too_large(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            allocate_scattered(TOPO, TOPO.num_nodes + 1, rng)
+
+    def test_dispatch(self):
+        rng = random.Random(1)
+        for policy in AllocationPolicy:
+            allocation = allocate(policy, TOPO, 8, rng=rng)
+            assert len(allocation) == 8
+
+    def test_dispatch_scattered_requires_rng(self):
+        with pytest.raises(ValueError):
+            allocate(AllocationPolicy.SCATTERED, TOPO, 4)
+
+    @given(num_nodes=st.integers(min_value=1, max_value=TOPO.num_nodes))
+    @settings(max_examples=30, deadline=None)
+    def test_property_scattered_valid(self, num_nodes):
+        rng = random.Random(num_nodes)
+        allocation = allocate_scattered(TOPO, num_nodes, rng)
+        assert len(allocation) == num_nodes
+        assert all(0 <= n < TOPO.num_nodes for n in allocation)
+        assert len(set(allocation)) == num_nodes

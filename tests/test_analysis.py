@@ -1,0 +1,214 @@
+"""Tests for the statistics and noise-estimation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.noise_estimation import (
+    NoiseEstimate,
+    counters_per_second,
+    estimate_noise_from_counters,
+    noise_estimate,
+    relative_slowdown,
+)
+from repro.analysis.reporting import (
+    BOXPLOT_COLUMNS,
+    Table,
+    boxplot_row,
+    format_table,
+    normalize_series,
+)
+from repro.analysis.stats import (
+    iqr,
+    median,
+    median_confidence_interval,
+    percentile,
+    quartile_coefficient_of_dispersion,
+    quartiles,
+    summarize,
+)
+from repro.config import NicConfig
+from repro.network.counters import CounterSnapshot
+
+NIC = NicConfig()
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == 50
+
+    def test_percentile_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 150)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_quartiles_match_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.random(500).tolist()
+        q1, med, q3 = quartiles(data)
+        assert q1 == pytest.approx(np.percentile(data, 25))
+        assert med == pytest.approx(np.percentile(data, 50))
+        assert q3 == pytest.approx(np.percentile(data, 75))
+
+    def test_iqr(self):
+        assert iqr([1, 2, 3, 4, 5]) == pytest.approx(2.0)
+
+    def test_qcd_definition(self):
+        data = [10, 20, 30, 40]
+        q1, _, q3 = quartiles(data)
+        assert quartile_coefficient_of_dispersion(data) == pytest.approx(
+            (q3 - q1) / (q3 + q1)
+        )
+
+    def test_qcd_zero_for_constant_data(self):
+        assert quartile_coefficient_of_dispersion([5, 5, 5]) == 0.0
+
+    def test_qcd_zero_denominator(self):
+        assert quartile_coefficient_of_dispersion([0, 0, 0]) == 0.0
+
+    def test_median_ci_contains_median(self):
+        data = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        low, high = median_confidence_interval(data)
+        assert low <= median(data) <= high
+
+    def test_median_ci_width_shrinks_with_n(self):
+        narrow = median_confidence_interval(list(range(1000)))
+        wide = median_confidence_interval(list(range(10)))
+        assert (narrow[1] - narrow[0]) / 1000 < (wide[1] - wide[0]) / 10
+
+    def test_single_value(self):
+        stats = summarize([42.0])
+        assert stats.median == 42.0
+        assert stats.qcd == 0.0
+        assert stats.outliers == ()
+
+    def test_summarize_outliers(self):
+        data = [10.0] * 20 + [10_000.0]
+        stats = summarize(data)
+        assert 10_000.0 in stats.outliers
+        assert stats.whisker_high <= 10.0
+        assert stats.maximum == 10_000.0
+
+    def test_summarize_mean_vs_median_with_outliers(self):
+        """Outliers pull the mean but not the median (the Figure 3 effect)."""
+        data = [10.0] * 50 + [10_000.0] * 3
+        stats = summarize(data)
+        assert stats.median == 10.0
+        assert stats.mean > 100.0
+
+    def test_notch_width_relative(self):
+        stats = summarize([100.0] * 100)
+        assert stats.notch_width_relative() == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_summary_invariants(self, data):
+        stats = summarize(data)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        assert 0.0 <= stats.qcd <= 1.0
+        assert stats.count == len(data)
+        assert stats.whisker_low >= stats.minimum
+        assert stats.whisker_high <= stats.maximum
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=4, max_size=100),
+        st.floats(min_value=1.5, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_qcd_scale_invariant(self, data, factor):
+        """QCD is invariant under multiplicative scaling (it is relative)."""
+        base = quartile_coefficient_of_dispersion(data)
+        scaled = quartile_coefficient_of_dispersion([x * factor for x in data])
+        assert scaled == pytest.approx(base, rel=1e-6, abs=1e-9)
+
+
+class TestNoiseEstimation:
+    def _snapshot(self, latency, stalls=0, flits=100, packets=20):
+        return CounterSnapshot(
+            request_flits=flits,
+            request_flits_stalled_cycles=stalls,
+            request_packets=packets,
+            request_packets_cum_latency=latency * packets,
+            responses_received=packets,
+        )
+
+    def test_counters_per_second_normalization(self):
+        snap = self._snapshot(latency=100.0, stalls=500, flits=1000)
+        one_second = int(NIC.clock_hz)
+        rates = counters_per_second(snap, one_second, NIC)
+        assert rates["request_flits_per_s"] == pytest.approx(1000.0)
+        assert rates["stalled_cycles_per_s"] == pytest.approx(500.0)
+
+    def test_counters_per_second_interval_validation(self):
+        with pytest.raises(ValueError):
+            counters_per_second(self._snapshot(1.0), 0, NIC)
+
+    def test_estimate_noise_from_counters(self):
+        snapshots = [self._snapshot(latency=l) for l in (1000.0, 1100.0, 2000.0, 900.0)]
+        qcd = estimate_noise_from_counters(4096, snapshots, NIC)
+        assert qcd > 0.0
+
+    def test_estimate_noise_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            estimate_noise_from_counters(4096, [], NIC)
+
+    def test_noise_estimate_overestimation_factor(self):
+        times = [100.0, 200.0, 500.0, 120.0]
+        snapshots = [self._snapshot(latency=1000.0) for _ in range(4)]
+        estimate = noise_estimate(times, 4096, snapshots, NIC)
+        assert isinstance(estimate, NoiseEstimate)
+        assert estimate.network_qcd == 0.0
+        assert estimate.overestimation_factor == float("inf")
+
+    def test_relative_slowdown(self):
+        assert relative_slowdown([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            relative_slowdown([1.0], 0.0)
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "demo" in text and "2.500" in text
+
+    def test_table_row_length_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_table_alignment(self):
+        text = format_table("t", ["col"], [["value"], ["x"]])
+        lines = text.splitlines()
+        # title + separator + header + two rows
+        assert len(lines) == 5
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_normalize_series(self):
+        series = {"Default": [10.0, 20.0, 30.0], "Other": [5.0, 40.0]}
+        normalized = normalize_series(series, "Default")
+        assert normalized["Default"][1] == pytest.approx(1.0)
+        assert normalized["Other"][0] == pytest.approx(0.25)
+
+    def test_normalize_series_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_series({"a": [1.0]}, "Default")
+
+    def test_boxplot_row_matches_columns(self):
+        row = boxplot_row("case", [1.0, 2.0, 3.0])
+        assert len(row) == len(BOXPLOT_COLUMNS)

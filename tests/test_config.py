@@ -1,0 +1,170 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    HostConfig,
+    NicConfig,
+    RoutingConfig,
+    SimulationConfig,
+    TopologyConfig,
+)
+
+
+class TestTopologyConfig:
+    def test_defaults_are_valid(self):
+        topo = TopologyConfig()
+        assert topo.num_routers == topo.num_groups * topo.routers_per_group
+        assert topo.num_nodes == topo.num_routers * topo.nodes_per_router
+
+    def test_routers_per_group(self):
+        topo = TopologyConfig(num_groups=3, chassis_per_group=2, blades_per_chassis=5)
+        assert topo.routers_per_group == 10
+        assert topo.num_routers == 30
+
+    def test_num_nodes(self):
+        topo = TopologyConfig(num_groups=2, chassis_per_group=2, blades_per_chassis=2, nodes_per_router=3)
+        assert topo.num_nodes == 2 * 4 * 3
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_groups=0)
+
+    def test_rejects_zero_chassis(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(chassis_per_group=0)
+
+    def test_rejects_zero_blades(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(blades_per_chassis=0)
+
+    def test_rejects_zero_nodes_per_router(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(nodes_per_router=0)
+
+    def test_rejects_no_global_links_with_multiple_groups(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_groups=2, global_links_per_router=0)
+
+    def test_rejects_tiny_buffers(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(router_buffer_flits=4)
+
+    def test_global_connectivity_validation(self):
+        # 2 routers per group x 1 link each = 2 endpoints, but 8 other groups.
+        topo = TopologyConfig(
+            num_groups=9,
+            chassis_per_group=1,
+            blades_per_chassis=2,
+            global_links_per_router=1,
+        )
+        with pytest.raises(ValueError):
+            topo.validate_global_connectivity()
+
+    def test_aries_like_geometry(self):
+        topo = TopologyConfig.aries_like(num_groups=4)
+        assert topo.chassis_per_group == 6
+        assert topo.blades_per_chassis == 16
+        assert topo.routers_per_group == 96
+
+    def test_tiny_geometry(self):
+        topo = TopologyConfig.tiny()
+        assert topo.num_groups == 2
+        assert topo.num_nodes == 16
+
+    def test_frozen(self):
+        topo = TopologyConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            topo.num_groups = 10
+
+
+class TestNicConfig:
+    def test_defaults_match_aries(self):
+        nic = NicConfig()
+        assert nic.packet_payload_bytes == 64
+        assert nic.max_outstanding_packets == 1024
+        assert nic.header_flits + nic.max_payload_flits == 5
+
+    def test_flit_coverage_validation(self):
+        with pytest.raises(ValueError):
+            NicConfig(packet_payload_bytes=128, flit_payload_bytes=16, max_payload_flits=4)
+
+    def test_rejects_nonpositive_packet_bytes(self):
+        with pytest.raises(ValueError):
+            NicConfig(packet_payload_bytes=0)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            NicConfig(max_outstanding_packets=0)
+
+    def test_cycle_time_conversions_roundtrip(self):
+        nic = NicConfig()
+        assert nic.us_to_cycles(nic.cycles_to_us(12345)) == pytest.approx(12345)
+
+    def test_cycles_to_us_scale(self):
+        nic = NicConfig(clock_hz=1e9)
+        assert nic.cycles_to_us(1000) == pytest.approx(1.0)
+
+
+class TestRoutingConfig:
+    def test_default_bias_ordering(self):
+        routing = RoutingConfig()
+        assert 0 < routing.low_bias < routing.high_bias
+
+    def test_rejects_zero_minimal_candidates(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(minimal_candidates=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(credit_info_delay=-1)
+
+    def test_rejects_negative_nonminimal_candidates(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(nonminimal_candidates=-1)
+
+
+class TestHostConfig:
+    def test_defaults_valid(self):
+        host = HostConfig()
+        assert 0 <= host.os_noise_probability <= 1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            HostConfig(os_noise_probability=1.5)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            HostConfig(intra_node_bytes_per_cycle=0)
+
+
+class TestSimulationConfig:
+    def test_with_topology_returns_new_object(self):
+        config = SimulationConfig()
+        other = config.with_topology(num_groups=2)
+        assert other.topology.num_groups == 2
+        assert config.topology.num_groups != 2 or config is not other
+
+    def test_with_routing(self):
+        config = SimulationConfig().with_routing(high_bias=99.0)
+        assert config.routing.high_bias == 99.0
+
+    def test_with_nic(self):
+        config = SimulationConfig().with_nic(max_outstanding_packets=16)
+        assert config.nic.max_outstanding_packets == 16
+
+    def test_with_host(self):
+        config = SimulationConfig().with_host(os_noise_probability=0.0)
+        assert config.host.os_noise_probability == 0.0
+
+    def test_with_seed(self):
+        config = SimulationConfig().with_seed(7)
+        assert config.seed == 7
+
+    def test_presets(self):
+        assert SimulationConfig.tiny().topology.num_groups == 2
+        assert SimulationConfig.small().topology.num_groups == 4

@@ -1,0 +1,112 @@
+"""Tests for the NIC performance counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NicConfig
+from repro.network.counters import CounterSnapshot, NicCounters
+
+
+class TestNicCounters:
+    def test_initial_state(self):
+        counters = NicCounters()
+        snap = counters.snapshot()
+        assert snap.request_flits == 0
+        assert snap.stall_ratio == 0.0
+        assert snap.avg_packet_latency == 0.0
+
+    def test_packet_injection_updates_flits_and_packets(self):
+        counters = NicCounters()
+        counters.on_packet_injected(5)
+        counters.on_packet_injected(3)
+        assert counters.request_packets == 2
+        assert counters.request_flits == 8
+
+    def test_stall_accumulation(self):
+        counters = NicCounters()
+        counters.on_packet_injected(10)
+        counters.on_stall(30)
+        counters.on_stall(20)
+        assert counters.snapshot().stall_ratio == pytest.approx(5.0)
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValueError):
+            NicCounters().on_stall(-1)
+
+    def test_latency_accumulation(self):
+        counters = NicCounters()
+        counters.on_response(100.0)
+        counters.on_response(300.0)
+        assert counters.snapshot().avg_packet_latency == pytest.approx(200.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NicCounters().on_response(-5)
+
+    def test_reset(self):
+        counters = NicCounters()
+        counters.on_packet_injected(5)
+        counters.on_stall(10)
+        counters.on_response(50)
+        counters.reset()
+        snap = counters.snapshot()
+        assert snap.request_flits == 0
+        assert snap.request_packets == 0
+        assert snap.responses_received == 0
+
+    def test_lifetime_properties_match_snapshot(self):
+        counters = NicCounters()
+        counters.on_packet_injected(4)
+        counters.on_stall(8)
+        counters.on_response(40)
+        assert counters.stall_ratio == counters.snapshot().stall_ratio
+        assert counters.avg_packet_latency == counters.snapshot().avg_packet_latency
+
+
+class TestCounterSnapshot:
+    def test_delta(self):
+        counters = NicCounters()
+        counters.on_packet_injected(5)
+        counters.on_response(100)
+        before = counters.snapshot()
+        counters.on_packet_injected(5)
+        counters.on_stall(10)
+        counters.on_response(200)
+        delta = counters.snapshot().delta(before)
+        assert delta.request_packets == 1
+        assert delta.request_flits == 5
+        assert delta.request_flits_stalled_cycles == 10
+        assert delta.responses_received == 1
+        assert delta.avg_packet_latency == pytest.approx(200.0)
+
+    def test_latency_us_conversion(self):
+        nic = NicConfig(clock_hz=2e9)
+        snap = CounterSnapshot(
+            request_flits=1,
+            request_flits_stalled_cycles=0,
+            request_packets=1,
+            request_packets_cum_latency=2000.0,
+            responses_received=1,
+        )
+        assert snap.avg_packet_latency_us(nic) == pytest.approx(1.0)
+
+    def test_zero_division_guards(self):
+        snap = CounterSnapshot(0, 0, 0, 0.0, 0)
+        assert snap.stall_ratio == 0.0
+        assert snap.avg_packet_latency == 0.0
+
+    @given(
+        flits=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=50),
+        stalls=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_stall_ratio_bounds(self, flits, stalls):
+        counters = NicCounters()
+        for f in flits:
+            counters.on_packet_injected(f)
+        for s in stalls:
+            counters.on_stall(s)
+        ratio = counters.snapshot().stall_ratio
+        assert ratio == pytest.approx(sum(stalls) / sum(flits))

@@ -1,0 +1,162 @@
+"""Tests for background-traffic (network noise) generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.network.network import Network
+from repro.noise.background import BackgroundTraffic, NoiseLevel, noise_nodes_for
+
+
+class TestNoiseLevel:
+    def test_utilization_ordering(self):
+        assert NoiseLevel.NONE.utilization == 0.0
+        assert (
+            NoiseLevel.LIGHT.utilization
+            < NoiseLevel.MODERATE.utilization
+            < NoiseLevel.HEAVY.utilization
+        )
+
+
+class TestNoiseNodeSelection:
+    def test_excludes_measured_nodes(self, small_network):
+        measured = [0, 1, 2, 3]
+        nodes = noise_nodes_for(small_network, measured, fraction=1.0)
+        assert not set(nodes) & set(measured)
+
+    def test_prefers_same_groups(self, small_network):
+        topo = small_network.config.topology
+        measured = [0, 1]
+        nodes = noise_nodes_for(small_network, measured, fraction=1.0, max_nodes=8)
+        groups = {
+            small_network.topology.group_of_router[n // topo.nodes_per_router]
+            for n in nodes
+        }
+        assert groups == {0}
+
+    def test_max_nodes_cap(self, small_network):
+        nodes = noise_nodes_for(small_network, [0], fraction=1.0, max_nodes=5)
+        assert len(nodes) == 5
+
+    def test_fraction_zero_gives_nothing(self, small_network):
+        assert noise_nodes_for(small_network, [0], fraction=0.0) == []
+
+    def test_invalid_fraction(self, small_network):
+        with pytest.raises(ValueError):
+            noise_nodes_for(small_network, [0], fraction=1.5)
+
+
+class TestBackgroundTraffic:
+    def test_generates_traffic(self, small_network):
+        noise = BackgroundTraffic(
+            small_network, nodes=list(range(8, 16)), message_bytes=2048, utilization=0.2
+        )
+        noise.start()
+        small_network.run(until=50_000)
+        noise.stop()
+        assert noise.messages_sent > 0
+        assert small_network.total_flits_traversed() > 0
+
+    def test_stop_halts_generation(self, small_network):
+        noise = BackgroundTraffic(
+            small_network, nodes=list(range(8, 14)), message_bytes=1024, utilization=0.2
+        )
+        noise.start()
+        small_network.run(until=20_000)
+        noise.stop()
+        sent_at_stop = noise.messages_sent
+        small_network.run(until=100_000)
+        assert noise.messages_sent == sent_at_stop
+
+    def test_start_is_idempotent(self, small_network):
+        noise = BackgroundTraffic(
+            small_network, nodes=[8, 9, 10], message_bytes=1024, utilization=0.1
+        )
+        noise.start()
+        noise.start()
+        small_network.run(until=10_000)
+        assert noise.active
+
+    def test_higher_utilization_more_traffic(self):
+        sent = {}
+        for utilization in (0.05, 0.4):
+            network = Network(SimulationConfig.small())
+            noise = BackgroundTraffic(
+                network,
+                nodes=list(range(16, 32)),
+                message_bytes=2048,
+                utilization=utilization,
+            )
+            noise.start()
+            network.run(until=100_000)
+            noise.stop()
+            sent[utilization] = noise.bytes_sent
+        assert sent[0.4] > sent[0.05]
+
+    def test_hotspot_pattern_targets_one_node(self, small_network):
+        noise = BackgroundTraffic(
+            small_network,
+            nodes=[8, 9, 10, 11],
+            message_bytes=1024,
+            utilization=0.2,
+            pattern="hotspot",
+            hotspot_node=20,
+        )
+        noise.start()
+        small_network.run(until=50_000)
+        noise.stop()
+        assert small_network.nic(20).messages_received > 0
+
+    def test_pairs_pattern(self, small_network):
+        noise = BackgroundTraffic(
+            small_network,
+            nodes=[8, 9, 10, 11],
+            message_bytes=1024,
+            utilization=0.2,
+            pattern="pairs",
+        )
+        noise.start()
+        small_network.run(until=30_000)
+        noise.stop()
+        assert noise.messages_sent > 0
+
+    def test_validation(self, small_network):
+        with pytest.raises(ValueError):
+            BackgroundTraffic(small_network, nodes=[])
+        with pytest.raises(ValueError):
+            BackgroundTraffic(small_network, nodes=[1, 2], utilization=0.0)
+        with pytest.raises(ValueError):
+            BackgroundTraffic(small_network, nodes=[1, 2], pattern="bogus")
+        with pytest.raises(ValueError):
+            BackgroundTraffic(small_network, nodes=[1, 2], pattern="hotspot")
+        with pytest.raises(ValueError):
+            BackgroundTraffic(small_network, nodes=[1], pattern="random")
+
+    def test_for_level_none_returns_none(self, small_network):
+        assert (
+            BackgroundTraffic.for_level(small_network, [0, 1], NoiseLevel.NONE) is None
+        )
+
+    def test_for_level_builds_generator(self, small_network):
+        noise = BackgroundTraffic.for_level(small_network, [0, 1], NoiseLevel.MODERATE)
+        assert noise is not None
+        assert noise.utilization == NoiseLevel.MODERATE.utilization
+
+    def test_noise_slows_down_foreground_traffic(self):
+        """The probe message takes longer when cross traffic is active."""
+        quiet = Network(SimulationConfig.small(seed=5))
+        probe_quiet = quiet.send(0, quiet.num_nodes - 1, 16384)
+        quiet.run_until_idle()
+
+        noisy = Network(SimulationConfig.small(seed=5))
+        noise = BackgroundTraffic.for_level(
+            noisy, [0, noisy.num_nodes - 1], NoiseLevel.HEAVY, max_nodes=24
+        )
+        noise.start()
+        noisy.run(until=20_000)  # let congestion build up
+        probe_noisy = noisy.send(0, noisy.num_nodes - 1, 16384)
+        while not probe_noisy.acked and noisy.sim.step():
+            pass
+        noise.stop()
+        assert probe_noisy.transmission_time > probe_quiet.transmission_time

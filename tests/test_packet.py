@@ -1,0 +1,125 @@
+"""Tests for message packetization and packet bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NicConfig
+from repro.network.packet import Message, Packet, RdmaOp, packetize
+from repro.routing.modes import RoutingMode
+
+
+NIC = NicConfig()
+
+
+class TestPacketize:
+    def test_one_packet_per_64_bytes(self):
+        packets, _, _ = packetize(640, RdmaOp.PUT, NIC)
+        assert packets == 10
+
+    def test_put_five_flits_per_full_packet(self):
+        packets, flits, _ = packetize(64, RdmaOp.PUT, NIC)
+        assert packets == 1
+        assert flits == 5  # 1 header + 4 payload
+
+    def test_get_one_flit_per_packet(self):
+        packets, flits, response = packetize(640, RdmaOp.GET, NIC)
+        assert packets == 10
+        assert flits == 10
+        assert response > flits  # data comes back in responses
+
+    def test_zero_byte_message_is_one_packet(self):
+        packets, flits, response = packetize(0, RdmaOp.PUT, NIC)
+        assert packets == 1
+        assert flits == NIC.header_flits
+        assert response == NIC.response_flits
+
+    def test_partial_tail_packet(self):
+        # 100 bytes = one full 64-byte packet + one 36-byte tail packet.
+        packets, flits, _ = packetize(100, RdmaOp.PUT, NIC)
+        assert packets == 2
+        # Full packet: 5 flits; tail: 1 header + ceil(36/16)=3 payload flits.
+        assert flits == 5 + 4
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            packetize(-1, RdmaOp.PUT, NIC)
+
+    def test_put_response_is_one_flit_per_packet(self):
+        packets, _, response = packetize(1024, RdmaOp.PUT, NIC)
+        assert response == packets * NIC.response_flits
+
+    @given(size=st.integers(min_value=1, max_value=1_000_000))
+    @settings(max_examples=200, deadline=None)
+    def test_property_packet_count_matches_size(self, size):
+        packets, flits, _ = packetize(size, RdmaOp.PUT, NIC)
+        assert packets == -(-size // NIC.packet_payload_bytes)
+        # Request flits are bounded by 5 per packet and at least 2 per packet
+        # (header + one payload flit).
+        assert packets * 2 <= flits <= packets * 5
+
+    @given(size=st.integers(min_value=1, max_value=1_000_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_flits_cover_payload(self, size):
+        _, flits, _ = packetize(size, RdmaOp.PUT, NIC)
+        payload_flits = flits - packetize(size, RdmaOp.PUT, NIC)[0] * NIC.header_flits
+        assert payload_flits * NIC.flit_payload_bytes >= size
+
+
+class TestMessage:
+    def _message(self, size=4096, op=RdmaOp.PUT):
+        return Message(
+            src_node=0,
+            dst_node=1,
+            size_bytes=size,
+            routing_mode=RoutingMode.ADAPTIVE_0,
+            nic_config=NIC,
+            op=op,
+        )
+
+    def test_initial_state(self):
+        message = self._message()
+        assert not message.delivered
+        assert not message.acked
+        assert message.transmission_time is None
+        assert message.num_packets == 64
+
+    def test_delivered_when_all_packets_arrive(self):
+        message = self._message(128)
+        assert message.num_packets == 2
+        message.packets_delivered = 2
+        assert message.delivered
+
+    def test_minimal_fraction_default_is_one(self):
+        assert self._message().minimal_fraction() == 1.0
+
+    def test_minimal_fraction_counts(self):
+        message = self._message()
+        message.minimal_packets = 3
+        message.nonminimal_packets = 1
+        assert message.minimal_fraction() == pytest.approx(0.75)
+
+    def test_transmission_time(self):
+        message = self._message()
+        message.submit_time = 100
+        message.delivered_time = 350
+        assert message.transmission_time == 250
+
+    def test_unique_ids(self):
+        assert self._message().id != self._message().id
+
+
+class TestPacket:
+    def test_defaults(self):
+        message = Message(0, 1, 64, RoutingMode.ADAPTIVE_0, NIC)
+        packet = Packet(message, 0, 1, flits=5)
+        assert packet.path is None
+        assert not packet.is_response
+        assert packet.hop_index == 0
+
+    def test_unique_ids(self):
+        message = Message(0, 1, 64, RoutingMode.ADAPTIVE_0, NIC)
+        a = Packet(message, 0, 1, flits=5)
+        b = Packet(message, 0, 1, flits=5)
+        assert a.id != b.id

@@ -1,0 +1,142 @@
+"""Tests for the Section 2.4 performance model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NicConfig, SimulationConfig
+from repro.core.perf_model import (
+    better_mode_by_model,
+    estimate_transmission_cycles,
+    estimate_transmission_cycles_simple,
+    flits_and_packets,
+    model_correlation,
+)
+from repro.network.network import Network
+from repro.network.packet import RdmaOp
+
+NIC = NicConfig()
+
+
+class TestEquations:
+    def test_equation1_structure(self):
+        # 64 bytes = 1 packet = 5 flits; L/2 + f*(s+1).
+        estimate = estimate_transmission_cycles_simple(64, 1000.0, 0.0, NIC)
+        assert estimate == pytest.approx(500.0 + 5.0)
+
+    def test_equation2_reduces_to_equation1_for_small_messages(self):
+        """For p << W the window term is close to L/2."""
+        eq1 = estimate_transmission_cycles_simple(64, 1000.0, 0.5, NIC)
+        eq2 = estimate_transmission_cycles(64, 1000.0, 0.5, NIC)
+        assert eq2 == pytest.approx(eq1, rel=0.01)
+
+    def test_equation2_window_term(self):
+        # 1024 packets exactly fill the window: (1024 + 512)/1024 = 1.5 L.
+        size = 1024 * 64
+        estimate = estimate_transmission_cycles(size, 1000.0, 0.0, NIC)
+        flits, packets = flits_and_packets(size, NIC)
+        assert packets == 1024
+        assert estimate == pytest.approx(1.5 * 1000.0 + flits)
+
+    def test_stalls_scale_flit_term(self):
+        base = estimate_transmission_cycles(4096, 1000.0, 0.0, NIC)
+        stalled = estimate_transmission_cycles(4096, 1000.0, 1.0, NIC)
+        flits, _ = flits_and_packets(4096, NIC)
+        assert stalled - base == pytest.approx(flits)
+
+    def test_latency_monotonicity(self):
+        low = estimate_transmission_cycles(4096, 500.0, 0.1, NIC)
+        high = estimate_transmission_cycles(4096, 5000.0, 0.1, NIC)
+        assert high > low
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_transmission_cycles(64, -1.0, 0.0, NIC)
+        with pytest.raises(ValueError):
+            estimate_transmission_cycles(64, 1.0, -0.1, NIC)
+
+    def test_get_vs_put_flit_count(self):
+        put_flits, _ = flits_and_packets(4096, NIC, RdmaOp.PUT)
+        get_flits, _ = flits_and_packets(4096, NIC, RdmaOp.GET)
+        assert get_flits < put_flits
+
+    @given(
+        size=st.integers(min_value=1, max_value=10_000_000),
+        latency=st.floats(min_value=0.0, max_value=1e6),
+        stall=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_estimate_positive_and_monotone_in_size(self, size, latency, stall):
+        small = estimate_transmission_cycles(size, latency, stall, NIC)
+        larger = estimate_transmission_cycles(size + 64, latency, stall, NIC)
+        assert small > 0
+        assert larger >= small
+
+
+class TestBetterMode:
+    def test_prefers_lower_latency_for_small_messages(self):
+        # Small message: the latency term dominates.
+        result = better_mode_by_model(64, NIC, 1000.0, 0.0, 500.0, 0.5)
+        assert result == 1  # second operating point (lower latency) wins
+
+    def test_prefers_lower_stalls_for_large_messages(self):
+        result = better_mode_by_model(1024 * 1024, NIC, 1000.0, 0.1, 500.0, 2.0)
+        assert result == -1  # first operating point (fewer stalls) wins
+
+    def test_tie(self):
+        assert better_mode_by_model(64, NIC, 1000.0, 0.5, 1000.0, 0.5) == 0
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [10.0, 20.0, 30.0, 40.0]
+        assert model_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [3.0, 2.0, 1.0]
+        assert model_correlation(xs, ys) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert model_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            model_correlation([1.0], [1.0, 2.0])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            model_correlation([1.0], [2.0])
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        xs = rng.random(50).tolist()
+        ys = (np.array(xs) * 2 + rng.random(50) * 0.1).tolist()
+        assert model_correlation(xs, ys) == pytest.approx(np.corrcoef(xs, ys)[0, 1])
+
+
+class TestModelAgainstSimulator:
+    """The model built from simulated counters tracks simulated times."""
+
+    def test_estimates_correlate_with_measured_times(self):
+        sizes = [256, 1024, 4096, 16384, 65536]
+        measured = []
+        estimated = []
+        for index, size in enumerate(sizes):
+            network = Network(SimulationConfig.small(seed=100 + index))
+            nic = network.nic(0)
+            message = network.send(0, network.num_nodes - 1, size)
+            network.run_until_idle()
+            counters = nic.counters.snapshot()
+            measured.append(message.transmission_time)
+            estimated.append(
+                estimate_transmission_cycles(
+                    size, counters.avg_packet_latency, counters.stall_ratio, NIC
+                )
+            )
+        correlation = model_correlation(estimated, measured)
+        assert correlation > 0.9

@@ -1,0 +1,145 @@
+"""Tests for routing policies and the uGNI-shim runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NicConfig, SimulationConfig
+from repro.core.policy import (
+    ApplicationAwarePolicy,
+    StaticRoutingPolicy,
+    default_policy,
+    high_bias_policy,
+)
+from repro.core.runtime import AppAwareRuntime
+from repro.core.selector import SelectorParams
+from repro.network.counters import CounterSnapshot
+from repro.network.network import Network
+from repro.routing.modes import RoutingMode
+
+NIC = NicConfig()
+
+
+def snapshot(latency=1000.0, stalls=10, flits=100, packets=20, responses=20):
+    return CounterSnapshot(
+        request_flits=flits,
+        request_flits_stalled_cycles=stalls,
+        request_packets=packets,
+        request_packets_cum_latency=latency * responses,
+        responses_received=responses,
+    )
+
+
+class TestStaticPolicies:
+    def test_default_policy_modes(self):
+        policy = default_policy()
+        assert policy.mode_for(1024, 3) is RoutingMode.ADAPTIVE_0
+        assert policy.mode_for(1024, 3, collective="alltoall") is RoutingMode.ADAPTIVE_1
+        assert policy.mode_for(1024, 3, collective="allreduce") is RoutingMode.ADAPTIVE_0
+        assert policy.describe() == "Default"
+
+    def test_high_bias_policy(self):
+        policy = high_bias_policy()
+        assert policy.mode_for(1024, 3) is RoutingMode.ADAPTIVE_3
+        assert policy.mode_for(1024, 3, collective="alltoall") is RoutingMode.ADAPTIVE_3
+        assert policy.describe() == "HighBias"
+
+    def test_default_traffic_fraction(self):
+        policy = default_policy()
+        policy.mode_for(1000, 1)
+        assert policy.default_traffic_fraction() == 1.0
+        assert high_bias_policy().default_traffic_fraction() == 0.0
+
+    def test_high_bias_fraction_after_traffic(self):
+        policy = high_bias_policy()
+        policy.mode_for(1000, 1)
+        assert policy.default_traffic_fraction() == 0.0
+
+    def test_observe_is_noop(self):
+        policy = default_policy()
+        policy.observe(snapshot(), RoutingMode.ADAPTIVE_0)  # must not raise
+
+    def test_custom_label(self):
+        policy = StaticRoutingPolicy(RoutingMode.MIN_HASH)
+        assert "MIN_HASH" in policy.describe()
+
+
+class TestApplicationAwarePolicy:
+    def test_mode_for_uses_selector(self):
+        policy = ApplicationAwarePolicy(NIC)
+        mode = policy.mode_for(64, 1)
+        assert mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_3)
+
+    def test_observe_feeds_selector(self):
+        policy = ApplicationAwarePolicy(NIC, SelectorParams(threshold_bytes=0))
+        policy.observe(snapshot(latency=10_000.0, stalls=0), RoutingMode.ADAPTIVE_0)
+        # Tiny message + very high adaptive latency → High Bias.
+        assert policy.mode_for(64, 1) is RoutingMode.ADAPTIVE_3
+
+    def test_observe_ignores_empty_snapshot(self):
+        policy = ApplicationAwarePolicy(NIC)
+        empty = CounterSnapshot(0, 0, 0, 0.0, 0)
+        policy.observe(empty, RoutingMode.ADAPTIVE_0)
+        assert policy.selector._adaptive_obs.latency is None
+
+    def test_describe(self):
+        assert ApplicationAwarePolicy(NIC).describe() == "AppAware"
+
+    def test_alltoall_goes_through_selector(self):
+        policy = ApplicationAwarePolicy(NIC, SelectorParams(threshold_bytes=0))
+        policy.observe(snapshot(latency=100.0, stalls=10_000), RoutingMode.ADAPTIVE_0)
+        mode = policy.mode_for(1 << 20, 1, collective="alltoall")
+        assert mode in (RoutingMode.ADAPTIVE_1, RoutingMode.ADAPTIVE_3)
+
+
+class TestAppAwareRuntime:
+    def test_send_and_feedback_loop(self):
+        network = Network(SimulationConfig.tiny())
+        runtime = AppAwareRuntime(network, node_id=0)
+        acked = []
+        runtime.send(network.num_nodes - 1, 8192, on_acked=lambda m: acked.append(m))
+        network.run_until_idle()
+        assert acked and acked[0].acked
+        # The feedback loop must have populated the selector's observations.
+        selector = runtime.policy.selector
+        assert (
+            selector._adaptive_obs.latency is not None
+            or selector._bias_obs.latency is not None
+        )
+        assert runtime.messages_sent == 1
+        assert runtime.bytes_sent == 8192
+
+    def test_static_policy_runtime(self):
+        network = Network(SimulationConfig.tiny())
+        runtime = AppAwareRuntime(network, node_id=0, policy=high_bias_policy())
+        message = runtime.send(network.num_nodes - 1, 4096)
+        network.run_until_idle()
+        assert message.delivered
+        assert message.routing_mode is RoutingMode.ADAPTIVE_3
+        assert runtime.describe() == "HighBias"
+
+    def test_delivered_callback(self):
+        network = Network(SimulationConfig.tiny())
+        runtime = AppAwareRuntime(network, node_id=0)
+        delivered = []
+        runtime.send(5, 1024, on_delivered=lambda m: delivered.append(m.id))
+        network.run_until_idle()
+        assert len(delivered) == 1
+
+    def test_default_traffic_fraction_reported(self):
+        network = Network(SimulationConfig.tiny())
+        runtime = AppAwareRuntime(network, node_id=0)
+        for _ in range(4):
+            runtime.send(network.num_nodes - 1, 16384)
+            network.run_until_idle()
+        assert 0.0 <= runtime.default_traffic_fraction <= 1.0
+
+    def test_successive_sends_adapt(self):
+        """After several messages the selector has data for both modes or has settled."""
+        network = Network(SimulationConfig.tiny())
+        runtime = AppAwareRuntime(network, node_id=0)
+        for _ in range(6):
+            runtime.send(network.num_nodes - 1, 32768)
+            network.run_until_idle()
+        selector = runtime.policy.selector
+        assert selector.decisions == 6

@@ -1,0 +1,202 @@
+"""Tests for Algorithm 1 (the application-aware routing selector)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NicConfig
+from repro.core.perf_model import estimate_transmission_cycles, flits_and_packets
+from repro.core.selector import AppAwareSelector, SelectorParams
+from repro.routing.modes import RoutingMode
+
+NIC = NicConfig()
+
+
+def make_selector(**params) -> AppAwareSelector:
+    return AppAwareSelector(NIC, SelectorParams(**params) if params else None)
+
+
+class TestSelectorParams:
+    def test_defaults(self):
+        params = SelectorParams()
+        assert params.threshold_bytes == 4096
+        assert params.lambda_ad < 1.0 < params.sigma_ad
+
+    def test_duals_are_inverses(self):
+        params = SelectorParams()
+        assert params.lambda_bs == pytest.approx(1.0 / params.lambda_ad)
+        assert params.sigma_bs == pytest.approx(1.0 / params.sigma_ad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectorParams(threshold_bytes=-1)
+        with pytest.raises(ValueError):
+            SelectorParams(lambda_ad=0.0)
+        with pytest.raises(ValueError):
+            SelectorParams(max_age_samples=0)
+
+    def test_invalid_initial_mode(self):
+        with pytest.raises(ValueError):
+            AppAwareSelector(NIC, initial_mode=RoutingMode.MIN_HASH)
+
+
+class TestThresholdBehaviour:
+    def test_small_cumulative_traffic_uses_high_bias(self):
+        selector = make_selector()
+        # 1 KiB << 4 KiB threshold: route with High Bias, no algorithm run.
+        assert selector.select_routing(1024) is RoutingMode.ADAPTIVE_3
+        assert selector.current_mode is RoutingMode.ADAPTIVE_0  # unchanged
+
+    def test_cumulative_counter_triggers_algorithm(self):
+        selector = make_selector()
+        selector.observe(1000.0, 0.1, RoutingMode.ADAPTIVE_0)
+        # Three 2 KiB messages: the third crosses the 4 KiB threshold.
+        selector.select_routing(2048)
+        mode_before = selector.current_mode
+        selector.select_routing(2048)
+        # Algorithm ran at least once: cumulative counter was reset.
+        assert selector._cumulative_bytes < 4096
+        assert selector.current_mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_3)
+        del mode_before
+
+    def test_zero_threshold_always_runs_algorithm(self):
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(1000.0, 0.1, RoutingMode.ADAPTIVE_0)
+        mode = selector.select_routing(64)
+        assert mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_3)
+
+
+class TestDecisionLogic:
+    def test_no_observation_keeps_current_mode(self):
+        selector = make_selector(threshold_bytes=0)
+        assert selector.select_routing(1 << 20) is RoutingMode.ADAPTIVE_0
+
+    def test_small_message_prefers_high_bias_when_latency_lower(self):
+        """Small messages are latency-bound: High Bias (lower L) should win."""
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(10_000.0, 0.05, RoutingMode.ADAPTIVE_0)
+        mode = selector.select_routing(64)
+        assert mode is RoutingMode.ADAPTIVE_3
+
+    def test_large_message_prefers_adaptive_when_stalls_matter(self):
+        """Large messages are bandwidth-bound: the mode with fewer stalls wins."""
+        selector = make_selector(threshold_bytes=0, lambda_ad=0.9, sigma_ad=3.0)
+        selector.observe(5_000.0, 0.5, RoutingMode.ADAPTIVE_0)
+        mode = selector.select_routing(4 << 20)
+        assert mode is RoutingMode.ADAPTIVE_0
+
+    def test_direct_observations_override_scaling(self):
+        """A fresh observation of the other mode is preferred to the estimate."""
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(1000.0, 0.1, RoutingMode.ADAPTIVE_0)
+        # Directly observed: High Bias is dramatically worse.
+        selector.observe(50_000.0, 5.0, RoutingMode.ADAPTIVE_3)
+        assert selector.select_routing(1 << 20) is RoutingMode.ADAPTIVE_0
+        # Now directly observed: High Bias is dramatically better.
+        selector.observe(100.0, 0.0, RoutingMode.ADAPTIVE_3)
+        assert selector.select_routing(1 << 20) is RoutingMode.ADAPTIVE_3
+
+    def test_decision_matches_equation2_comparison(self):
+        """The selector's choice equals a direct Equation-2 comparison."""
+        selector = make_selector(threshold_bytes=0)
+        latency_ad, stall_ad = 8_000.0, 0.2
+        latency_bs, stall_bs = 5_000.0, 0.9
+        selector.observe(latency_ad, stall_ad, RoutingMode.ADAPTIVE_0)
+        selector.observe(latency_bs, stall_bs, RoutingMode.ADAPTIVE_3)
+        for size in (64, 1024, 64 * 1024, 4 << 20):
+            expected_bias_better = estimate_transmission_cycles(
+                size, latency_bs, stall_bs, NIC
+            ) < estimate_transmission_cycles(size, latency_ad, stall_ad, NIC)
+            mode = selector.select_routing(size)
+            # Re-prime the observations (select_routing ages them).
+            selector.observe(latency_ad, stall_ad, RoutingMode.ADAPTIVE_0)
+            selector.observe(latency_bs, stall_bs, RoutingMode.ADAPTIVE_3)
+            assert (mode is RoutingMode.ADAPTIVE_3) == expected_bias_better
+
+    def test_threshold_form_matches_direct_comparison(self):
+        """Equation 4 (flit threshold) agrees with the Equation-2 comparison."""
+        selector = make_selector(threshold_bytes=0)
+        latency_ad, stall_ad = 9_000.0, 0.1
+        latency_bs, stall_bs = 6_000.0, 0.8
+        for size in (256, 4096, 256 * 1024):
+            flits, packets = flits_and_packets(size, NIC)
+            threshold = selector.flit_threshold(
+                latency_ad, stall_ad, latency_bs, stall_bs, packets
+            )
+            direct = estimate_transmission_cycles(
+                size, latency_bs, stall_bs, NIC
+            ) < estimate_transmission_cycles(size, latency_ad, stall_ad, NIC)
+            assert (flits < threshold) == direct
+
+    def test_flit_threshold_division_by_zero(self):
+        selector = make_selector()
+        with pytest.raises(ZeroDivisionError):
+            selector.flit_threshold(1.0, 0.5, 2.0, 0.5, 10)
+
+    def test_alltoall_uses_imb_instead_of_adaptive(self):
+        selector = make_selector(threshold_bytes=0, lambda_ad=0.9, sigma_ad=5.0)
+        selector.observe(5_000.0, 1.0, RoutingMode.ADAPTIVE_0)
+        mode = selector.select_routing(4 << 20, is_alltoall=True)
+        assert mode is RoutingMode.ADAPTIVE_1
+
+    def test_alltoall_high_bias_not_replaced(self):
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(10_000.0, 0.0, RoutingMode.ADAPTIVE_0)
+        mode = selector.select_routing(64, is_alltoall=True)
+        assert mode is RoutingMode.ADAPTIVE_3
+
+
+class TestStaleness:
+    def test_old_observations_expire(self):
+        selector = make_selector(threshold_bytes=0, max_age_samples=3)
+        selector.observe(1000.0, 0.1, RoutingMode.ADAPTIVE_0)
+        selector.observe(100.0, 0.0, RoutingMode.ADAPTIVE_3)  # bias looks great
+        # Age the bias observation beyond the limit.
+        for _ in range(5):
+            selector.select_routing(1 << 20)
+            selector.observe(1000.0, 0.1, RoutingMode.ADAPTIVE_0)
+        # The stale direct observation must no longer be trusted; the scaled
+        # estimate is used instead (derived from the adaptive observation).
+        assert not selector._bias_obs.valid(selector.params.max_age_samples)
+
+
+class TestAccounting:
+    def test_traffic_fractions(self):
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(10_000.0, 0.0, RoutingMode.ADAPTIVE_0)
+        selector.select_routing(1024)  # small → high bias
+        assert selector.default_traffic_fraction <= 0.5
+
+    def test_fraction_empty(self):
+        assert make_selector().default_traffic_fraction == 0.0
+
+    def test_switch_counter(self):
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(10_000.0, 0.0, RoutingMode.ADAPTIVE_0)
+        selector.select_routing(64)  # switches to high bias
+        assert selector.switches >= 1
+
+    def test_reset(self):
+        selector = make_selector(threshold_bytes=0)
+        selector.observe(10_000.0, 0.0, RoutingMode.ADAPTIVE_0)
+        selector.select_routing(64)
+        selector.reset()
+        assert selector.decisions == 0
+        assert selector.current_mode is RoutingMode.ADAPTIVE_0
+        assert selector.default_traffic_fraction == 0.0
+
+    @given(
+        sizes=st.lists(st.integers(min_value=8, max_value=1 << 20), min_size=1, max_size=50),
+        latency=st.floats(min_value=1.0, max_value=1e5),
+        stall=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_selector_always_returns_valid_mode(self, sizes, latency, stall):
+        selector = make_selector()
+        valid = {RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_1, RoutingMode.ADAPTIVE_3}
+        for size in sizes:
+            mode = selector.select_routing(size, is_alltoall=(size % 2 == 0))
+            assert mode in valid
+            selector.observe(latency, stall)
+        assert selector.bytes_default + selector.bytes_high_bias == sum(sizes)

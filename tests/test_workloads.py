@@ -1,0 +1,270 @@
+"""Tests for the microbenchmark and application-proxy workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import default_policy
+from repro.mpi.job import MpiJob
+from repro.network.network import Network
+from repro.workloads.apps import ApplicationProxy, Phase, application_catalog, make_application
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.microbench import (
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    BarrierBenchmark,
+    BroadcastBenchmark,
+    PingPongBenchmark,
+)
+from repro.workloads.stencils import (
+    Halo3DBenchmark,
+    Sweep3DBenchmark,
+    balanced_2d_grid,
+    balanced_3d_grid,
+)
+
+
+def make_job(num_ranks=4, seed=1):
+    config = SimulationConfig.small(seed=seed).with_host(os_noise_probability=0.0)
+    network = Network(config)
+    nodes = list(range(0, num_ranks * 3, 3))
+    return MpiJob(network, nodes, policy_factory=default_policy), network
+
+
+class TestWorkloadBase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PingPongBenchmark(iterations=0)
+        with pytest.raises(ValueError):
+            PingPongBenchmark(warmup=-1)
+
+    def test_result_statistics(self):
+        result = WorkloadResult("x", {}, iteration_times=[10, 30, 20])
+        assert result.median_time() == 20
+        assert result.mean_time() == pytest.approx(20.0)
+
+    def test_result_requires_samples(self):
+        with pytest.raises(ValueError):
+            WorkloadResult("x", {}).median_time()
+
+    def test_describe(self):
+        workload = PingPongBenchmark(size_bytes=1024, iterations=2)
+        assert "pingpong" in workload.describe()
+
+    def test_base_iteration_not_implemented(self):
+        job, _ = make_job(2)
+        with pytest.raises(NotImplementedError):
+            Workload(iterations=1).run(job)
+
+
+class TestPingPong:
+    def test_records_one_time_per_iteration(self):
+        job, _ = make_job(2)
+        workload = PingPongBenchmark(size_bytes=2048, iterations=4, warmup=1)
+        result = workload.run(job)
+        assert len(result.iteration_times) == 4
+        assert all(t > 0 for t in result.iteration_times)
+        assert result.policy == "Default"
+
+    def test_extra_ranks_only_synchronize(self):
+        job, network = make_job(4)
+        workload = PingPongBenchmark(size_bytes=1024, iterations=2)
+        workload.run(job)
+        # Ranks 2 and 3 never send data messages beyond barrier tokens:
+        # their NICs only carried small sync messages.
+        barrier_bytes = 64
+        for rank in (2, 3):
+            node = job.node_of(rank)
+            nic = network.nic(node)
+            assert nic.counters.request_flits < 100 * barrier_bytes
+
+    def test_same_rank_pair_rejected(self):
+        with pytest.raises(ValueError):
+            PingPongBenchmark(rank_a=1, rank_b=1)
+
+    def test_multiple_pingpongs_per_iteration(self):
+        job, _ = make_job(2)
+        single = PingPongBenchmark(size_bytes=2048, iterations=2, pingpongs_per_iteration=1)
+        result_single = single.run(job)
+        job2, _ = make_job(2)
+        multi = PingPongBenchmark(size_bytes=2048, iterations=2, pingpongs_per_iteration=4)
+        result_multi = multi.run(job2)
+        assert result_multi.median_time() > result_single.median_time()
+
+    def test_on_iteration_hook(self):
+        job, _ = make_job(2)
+        workload = PingPongBenchmark(size_bytes=1024, iterations=3)
+        seen = []
+        workload.on_iteration = lambda index, elapsed: seen.append(index)
+        workload.run(job)
+        assert seen == [0, 1, 2]
+
+
+class TestCollectiveBenchmarks:
+    def test_allreduce_size_from_elements(self):
+        workload = AllreduceBenchmark(elements=1000)
+        assert workload.size_bytes == 4000
+
+    def test_allreduce_runs(self):
+        job, _ = make_job(4)
+        result = AllreduceBenchmark(elements=256, iterations=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_allreduce_validation(self):
+        with pytest.raises(ValueError):
+            AllreduceBenchmark(elements=0)
+
+    def test_alltoall_runs(self):
+        job, _ = make_job(4)
+        result = AlltoallBenchmark(size_bytes=512, iterations=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_barrier_runs(self):
+        job, _ = make_job(4)
+        result = BarrierBenchmark(barriers_per_iteration=4, iterations=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_barrier_validation(self):
+        with pytest.raises(ValueError):
+            BarrierBenchmark(barriers_per_iteration=0)
+
+    def test_broadcast_runs(self):
+        job, _ = make_job(4)
+        result = BroadcastBenchmark(size_bytes=4096, iterations=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_larger_messages_take_longer(self):
+        job_small, _ = make_job(4, seed=3)
+        small = BroadcastBenchmark(size_bytes=1024, iterations=2).run(job_small)
+        job_large, _ = make_job(4, seed=3)
+        large = BroadcastBenchmark(size_bytes=64 * 1024, iterations=2).run(job_large)
+        assert large.median_time() > small.median_time()
+
+
+class TestGridHelpers:
+    def test_balanced_3d_grid_exact(self):
+        assert balanced_3d_grid(8) == (2, 2, 2)
+        assert sorted(balanced_3d_grid(12), reverse=True) == [3, 2, 2]
+
+    def test_balanced_3d_grid_covers_ranks(self):
+        for ranks in range(1, 65):
+            px, py, pz = balanced_3d_grid(ranks)
+            assert px * py * pz == ranks
+
+    def test_balanced_2d_grid(self):
+        assert balanced_2d_grid(16) == (4, 4)
+        px, py = balanced_2d_grid(12)
+        assert px * py == 12
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            balanced_3d_grid(0)
+        with pytest.raises(ValueError):
+            balanced_2d_grid(0)
+
+
+class TestStencils:
+    def test_halo3d_neighbour_symmetry(self):
+        job, _ = make_job(8)
+        workload = Halo3DBenchmark(domain=32, iterations=1)
+        ctx = job.contexts[0]
+        neighbours = workload.neighbours(ctx)
+        assert neighbours
+        for neighbour, size in neighbours:
+            back = workload.neighbours(job.contexts[neighbour])
+            assert any(peer == 0 and s == size for peer, s in back)
+
+    def test_halo3d_runs(self):
+        job, _ = make_job(8)
+        result = Halo3DBenchmark(domain=32, iterations=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_halo3d_validation(self):
+        with pytest.raises(ValueError):
+            Halo3DBenchmark(domain=0)
+
+    def test_sweep3d_runs(self):
+        job, _ = make_job(4)
+        result = Sweep3DBenchmark(domain=32, iterations=2, kba_blocks=2).run(job)
+        assert len(result.iteration_times) == 2
+
+    def test_sweep3d_validation(self):
+        with pytest.raises(ValueError):
+            Sweep3DBenchmark(domain=0)
+        with pytest.raises(ValueError):
+            Sweep3DBenchmark(kba_blocks=0)
+
+    def test_sweep3d_wavefront_takes_longer_with_more_blocks(self):
+        job_few, _ = make_job(4, seed=9)
+        few = Sweep3DBenchmark(domain=64, iterations=2, kba_blocks=1).run(job_few)
+        job_many, _ = make_job(4, seed=9)
+        many = Sweep3DBenchmark(domain=64, iterations=2, kba_blocks=8).run(job_many)
+        # More pipeline stages → more (smaller) messages → more per-message
+        # overheads and synchronization steps.
+        assert many.median_time() != few.median_time()
+
+
+class TestApplications:
+    def test_catalog_contents(self):
+        catalog = application_catalog()
+        expected = {
+            "cp2k", "wrf-b", "wrf-t", "lammps", "qe", "nekbone", "vpfft",
+            "amber", "milc", "hpcg", "bfs", "sssp", "fft",
+        }
+        assert expected <= set(catalog)
+        for phases in catalog.values():
+            assert phases
+
+    def test_catalog_scaling(self):
+        small = application_catalog(scale=0.1)
+        full = application_catalog(scale=1.0)
+        assert small["fft"][0].size_bytes < full["fft"][0].size_bytes
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase("bogus")
+        with pytest.raises(ValueError):
+            Phase("allreduce", size_bytes=-1)
+
+    def test_make_application_unknown(self):
+        with pytest.raises(KeyError):
+            make_application("not-an-app")
+
+    def test_proxy_requires_phases(self):
+        with pytest.raises(ValueError):
+            ApplicationProxy("empty", [])
+
+    @pytest.mark.parametrize("app", ["fft", "nekbone", "milc", "bfs"])
+    def test_application_proxies_run(self, app):
+        job, _ = make_job(4)
+        workload = make_application(app, iterations=1, scale=0.05)
+        result = workload.run(job)
+        assert len(result.iteration_times) == 1
+        assert result.workload == app
+
+    def test_pairwise_phase(self):
+        job, _ = make_job(4)
+        workload = ApplicationProxy(
+            "pairwise-test", [Phase("pairwise", size_bytes=1024)], iterations=1
+        )
+        result = workload.run(job)
+        assert result.iteration_times
+
+    def test_compute_only_application(self):
+        job, _ = make_job(2)
+        workload = ApplicationProxy(
+            "compute-only", [Phase("compute", compute_cycles=5_000)], iterations=2
+        )
+        result = workload.run(job)
+        assert all(t >= 5_000 for t in result.iteration_times)
+
+    def test_communication_heavy_slower_than_compute_light(self):
+        """fft (alltoall heavy) spends more time communicating than amber."""
+        job_fft, _ = make_job(4, seed=11)
+        fft = make_application("fft", iterations=1, scale=0.2).run(job_fft)
+        job_amber, _ = make_job(4, seed=11)
+        amber = make_application("amber", iterations=1, scale=0.2).run(job_amber)
+        # Amber is compute-dominated: its iteration is longer in absolute terms
+        # but its traffic is far smaller.
+        assert fft.iteration_times and amber.iteration_times
