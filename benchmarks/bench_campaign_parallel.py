@@ -1,0 +1,98 @@
+"""Campaign executor throughput at 1, 2 and 4 workers.
+
+Runs a fixed small scenario grid through the parallel executor (no store,
+so every run actually executes) and reports runs/sec per worker count —
+the perf trajectory of the fan-out machinery itself.  Besides the
+pytest-benchmark timing, a JSON artifact with the throughput series is
+written to ``benchmarks/results/campaign_parallel.json``::
+
+    python -m pytest benchmarks/bench_campaign_parallel.py -q -s
+    python benchmarks/bench_campaign_parallel.py   # standalone, same JSON
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.campaign import ensure_builtin_scenarios, execute_plan, plan_campaign
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _bench_plan():
+    """A small but non-trivial grid: 8 ping-pong cells (4 placements x 2 sizes)."""
+    ensure_builtin_scenarios()
+    return plan_campaign(
+        ["pingpong-placement"],
+        overrides={"message_kib": (4, 16), "noise": ("light",)},
+        name="bench-parallel",
+    )
+
+
+def measure_throughput(worker_counts=WORKER_COUNTS) -> dict:
+    """Execute the grid at each worker count; returns the JSON payload."""
+    plan = _bench_plan()
+    series = []
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = execute_plan(plan, store=None, workers=workers)
+        elapsed = time.perf_counter() - start
+        assert result.failed == 0, result.summary()
+        series.append(
+            {
+                "workers": workers,
+                "runs": len(plan),
+                "elapsed_s": round(elapsed, 4),
+                "runs_per_sec": round(len(plan) / elapsed, 3),
+            }
+        )
+    base = series[0]["runs_per_sec"]
+    for entry in series:
+        entry["speedup_vs_serial"] = round(entry["runs_per_sec"] / base, 3)
+    return {
+        "benchmark": "campaign_parallel",
+        "grid_runs": len(plan),
+        # Speedup is bounded by the machine: on a 1-core box the parallel
+        # executor can only match serial throughput.
+        "cpu_count": os.cpu_count(),
+        "series": series,
+    }
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "campaign_parallel.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    lines = [f"campaign executor throughput ({payload['grid_runs']}-run grid)"]
+    for entry in payload["series"]:
+        lines.append(
+            f"  {entry['workers']} worker(s): {entry['runs_per_sec']:.2f} runs/s "
+            f"({entry['elapsed_s']:.2f} s, {entry['speedup_vs_serial']:.2f}x vs serial)"
+        )
+    return "\n".join(lines)
+
+
+def test_campaign_parallel_throughput(benchmark, results_dir):
+    """Throughput at 1/2/4 workers; JSON emitted for the perf trajectory."""
+    payload = benchmark.pedantic(measure_throughput, rounds=1, iterations=1)
+    _write_json(payload, results_dir)
+    emit(results_dir, "campaign_parallel", _render(payload))
+    by_workers = {entry["workers"]: entry for entry in payload["series"]}
+    assert set(by_workers) == set(WORKER_COUNTS)
+    # Parallel fan-out should not be slower than serial by more than noise.
+    assert by_workers[4]["runs_per_sec"] >= 0.5 * by_workers[1]["runs_per_sec"]
+
+
+if __name__ == "__main__":
+    result = measure_throughput()
+    path = _write_json(result, RESULTS_DIR)
+    print(_render(result))
+    print(f"wrote {path}")

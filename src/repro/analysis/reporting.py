@@ -96,3 +96,38 @@ def boxplot_row(label: str, values: Sequence[float]) -> List[object]:
 
 
 BOXPLOT_COLUMNS = ["case", "n", "median", "mean", "q1", "q3", "qcd", "outliers"]
+
+
+def campaign_metrics_table(
+    rows: Sequence[Mapping[str, object]],
+    metrics: Optional[Sequence[str]] = None,
+    title: str = "campaign results",
+) -> str:
+    """Render campaign store rows (see ``ArtifactStore.status_rows``) as a table.
+
+    ``metrics`` selects which ``metric.<name>`` columns to show; by default
+    the metrics common to *all* rows are shown (different scenarios emit
+    different metric sets, and a sparse union would be unreadable).
+    """
+    if not rows:
+        return format_table(title, ["hash", "scenario", "scale", "params"], [])
+    if metrics is None:
+        common = set(key for key in rows[0] if key.startswith("metric."))
+        for row in rows[1:]:
+            common &= set(key for key in row if key.startswith("metric."))
+        metric_columns = sorted(common)
+    else:
+        metric_columns = [f"metric.{name}" for name in metrics]
+    columns = ["hash", "scenario", "scale", "params"] + [
+        c[len("metric."):] for c in metric_columns
+    ]
+    table = Table(title=title, columns=columns)
+    for row in rows:
+        table.add_row(
+            row.get("hash", "?"),
+            row.get("scenario", "?"),
+            row.get("scale", "?"),
+            row.get("params", "{}"),
+            *(row.get(c, "") for c in metric_columns),
+        )
+    return table.render()

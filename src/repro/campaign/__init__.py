@@ -1,0 +1,50 @@
+"""Campaign engine: registered scenarios, sweep planning, parallel execution.
+
+The campaign subsystem turns the per-figure experiment scripts into a
+system: scenarios are named, parameterized specs registered in a global
+registry (:mod:`repro.campaign.registry`); a sweep planner expands parameter
+grids into content-hashed :class:`~repro.campaign.plan.RunSpec`s
+(:mod:`repro.campaign.plan`); a parallel executor fans runs out over
+``multiprocessing`` with per-run seeds derived from :mod:`repro.sim.rng`
+(:mod:`repro.campaign.executor`); and a result cache + artifact store skips
+runs whose spec hash already has a stored result
+(:mod:`repro.campaign.store`).
+"""
+
+from repro.campaign.plan import CampaignPlan, RunSpec, expand_scenario, plan_campaign
+from repro.campaign.registry import (
+    Scenario,
+    get_scenario,
+    register,
+    register_figure,
+    scenario,
+    scenario_names,
+)
+from repro.campaign.executor import CampaignResult, RunRecord, execute_plan, execute_spec
+from repro.campaign.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignPlan",
+    "CampaignResult",
+    "RunRecord",
+    "RunSpec",
+    "Scenario",
+    "ensure_builtin_scenarios",
+    "execute_plan",
+    "execute_spec",
+    "expand_scenario",
+    "get_scenario",
+    "plan_campaign",
+    "register",
+    "register_figure",
+    "scenario",
+    "scenario_names",
+]
+
+
+def ensure_builtin_scenarios() -> None:
+    """Import every module that registers built-in scenarios (idempotent)."""
+    from repro.campaign import scenarios
+
+    scenarios.ensure_registered()

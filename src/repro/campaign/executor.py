@@ -1,0 +1,210 @@
+"""Parallel campaign execution over ``multiprocessing``.
+
+The executor takes a :class:`~repro.campaign.plan.CampaignPlan`, skips every
+spec the :class:`~repro.campaign.store.ArtifactStore` already holds, and
+fans the cache misses out over a process pool.  Worker processes receive
+only the picklable :class:`~repro.campaign.plan.RunSpec`; they re-resolve
+the scenario from the registry and re-derive the run's master seed, so the
+result of a spec is identical whether it runs inline or in a worker.
+
+The pool uses the ``fork`` start method where available (Linux/macOS), so
+children inherit every registered scenario.  Under ``spawn`` (Windows)
+children rebuild the registry by importing :mod:`repro.campaign.scenarios`;
+scenarios registered anywhere else (e.g. ad hoc in a script) are then not
+visible to workers — register them in an imported module, or run with
+``workers=1``.  Records are always returned in plan order regardless of
+which worker finished first.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.plan import CampaignPlan, RunSpec
+from repro.campaign.registry import ScenarioError, get_scenario
+from repro.campaign.store import ArtifactStore
+from repro.experiments.harness import ExperimentScale
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one planned run."""
+
+    spec: RunSpec
+    payload: Optional[Dict] = None
+    report: str = ""
+    cached: bool = False
+    elapsed_s: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run produced (or re-used) a result."""
+        return self.payload is not None and not self.error
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign execution, in plan order."""
+
+    plan: CampaignPlan
+    records: List[RunRecord] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def executed(self) -> int:
+        """Runs actually simulated this invocation."""
+        return sum(1 for r in self.records if r.ok and not r.cached)
+
+    @property
+    def cached(self) -> int:
+        """Runs satisfied from the artifact store."""
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def failed(self) -> int:
+        """Runs that raised."""
+        return sum(1 for r in self.records if r.error)
+
+    def summary(self) -> str:
+        """One-line outcome summary."""
+        return (
+            f"{len(self.records)} run(s): {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"({self.workers} worker(s))"
+        )
+
+
+def scale_for(spec: RunSpec) -> ExperimentScale:
+    """The :class:`ExperimentScale` a spec executes at (seed already derived)."""
+    return ExperimentScale.preset(spec.scale).with_seed(spec.run_seed())
+
+
+def execute_spec(spec: RunSpec) -> Tuple[Dict, str, float]:
+    """Execute one run spec; returns ``(payload, report_text, elapsed_s)``.
+
+    This is the worker entry point: it must stay importable at module level
+    (spawn start method) and must derive everything from the spec alone.
+    """
+    from repro.campaign import ensure_builtin_scenarios
+
+    ensure_builtin_scenarios()
+    scenario = get_scenario(spec.scenario)
+    start = time.perf_counter()
+    payload = scenario.runner(scale_for(spec), **spec.params_dict)
+    elapsed = time.perf_counter() - start
+    payload = _checked_json(spec, payload)
+    return payload, scenario.render_report(payload), elapsed
+
+
+def _checked_json(spec: RunSpec, payload) -> Dict:
+    """Round-trip the payload through JSON so cached == fresh results."""
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"scenario {spec.scenario!r} returned {type(payload).__name__}, "
+            "expected a JSON-safe dict"
+        )
+    try:
+        # allow_nan=False: NaN/Infinity are not valid JSON and would poison
+        # the store's "shareable/diffable" artifact contract.
+        return json.loads(json.dumps(payload, sort_keys=True, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"scenario {spec.scenario!r} returned a non-JSON-safe payload: {exc}"
+        ) from exc
+
+
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+def execute_plan(
+    plan: CampaignPlan,
+    store: Optional[ArtifactStore] = None,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+    force: bool = False,
+) -> CampaignResult:
+    """Execute a plan, using the store as a cache and artifact sink.
+
+    ``workers > 1`` fans cache misses out over a process pool; results are
+    reassembled in plan order either way.  ``force=True`` re-executes specs
+    even when the store already holds them.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    result = CampaignResult(plan=plan, workers=workers)
+    records: List[Optional[RunRecord]] = [None] * len(plan)
+    misses: List[Tuple[int, RunSpec]] = []
+
+    for index, spec in enumerate(plan):
+        if store is not None and not force and store.has(spec):
+            payload = store.load(spec)
+            report = payload.get("report", "") if isinstance(payload, dict) else ""
+            records[index] = RunRecord(
+                spec=spec,
+                payload=payload,
+                report=report if isinstance(report, str) else "",
+                cached=True,
+            )
+        else:
+            misses.append((index, spec))
+    total = len(plan)
+    reported = 0
+    if progress is not None:
+        # Announce cache hits up front, in plan order.
+        for record in records:
+            if record is not None:
+                reported += 1
+                progress(reported, total, record)
+
+    def finish(index: int, record: RunRecord) -> None:
+        nonlocal reported
+        records[index] = record
+        if record.ok and not record.cached and store is not None:
+            store.save(record.spec, record.payload, record.report, record.elapsed_s)
+        if progress is not None:
+            reported += 1
+            progress(reported, total, record)
+
+    if misses and workers == 1:
+        for index, spec in misses:
+            finish(index, _run_one(spec))
+    elif misses:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(misses))) as pool:
+            outcomes = pool.imap(_run_one, [spec for _, spec in misses], chunksize=1)
+            for (index, _spec), record in zip(misses, outcomes):
+                finish(index, record)
+
+    result.records = [r for r in records if r is not None]
+    return result
+
+
+def _run_one(spec: RunSpec) -> RunRecord:
+    """Execute one spec, capturing failures as a record (pool-safe)."""
+    try:
+        payload, report, elapsed = execute_spec(spec)
+    except ScenarioError as exc:
+        # Most likely cause in a worker: spawn start method + a scenario
+        # registered outside repro.campaign.scenarios (see module docstring).
+        return RunRecord(
+            spec=spec,
+            error=(
+                f"{type(exc).__name__}: {exc} — if this scenario is registered "
+                "in your own module, workers started via 'spawn' cannot see it; "
+                "register it in an imported module or use workers=1"
+            ),
+        )
+    except Exception as exc:  # noqa: BLE001 - failures become part of the result
+        return RunRecord(spec=spec, error=f"{type(exc).__name__}: {exc}")
+    return RunRecord(spec=spec, payload=payload, report=report, elapsed_s=elapsed)
+
+
+def _pool_context():
+    """Prefer fork (fast, Linux) and fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")

@@ -1,0 +1,179 @@
+"""Sweep planning: parameter grids expanded into content-hashed run specs.
+
+A :class:`RunSpec` pins everything a run depends on — scenario name, one
+point of the parameter grid, the experiment scale preset and the campaign
+master seed — and derives from it (a) a stable SHA-256 content hash used as
+the cache key by :class:`repro.campaign.store.ArtifactStore` and (b) the
+per-run master seed, via :func:`repro.sim.rng.derive_seed`, so every grid
+point draws from an independent but reproducible random universe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.registry import SCALAR_TYPES, Scenario, ScenarioError, get_scenario
+from repro.sim.rng import derive_seed
+
+#: Bump when the RunSpec -> result contract changes; invalidates all caches.
+SPEC_FORMAT = 1
+
+#: Default campaign master seed (the paper year, as used by the harness).
+DEFAULT_SEED = 2019
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned run: a scenario at one grid point, at one scale and seed."""
+
+    scenario: str
+    #: Sorted (axis, value) pairs — tuple form keeps the spec hashable.
+    params: Tuple[Tuple[str, object], ...] = ()
+    scale: str = "smoke"
+    seed: int = DEFAULT_SEED
+
+    @staticmethod
+    def make(
+        scenario: str,
+        params: Optional[Mapping[str, object]] = None,
+        scale: str = "smoke",
+        seed: int = DEFAULT_SEED,
+    ) -> "RunSpec":
+        """Build a spec from a plain params mapping (validated, sorted)."""
+        items = sorted((params or {}).items())
+        for key, value in items:
+            if not isinstance(value, SCALAR_TYPES):
+                raise TypeError(
+                    f"run parameter {key}={value!r} is not a JSON scalar"
+                )
+        return RunSpec(scenario=scenario, params=tuple(items), scale=scale, seed=seed)
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The grid point as a plain dict."""
+        return dict(self.params)
+
+    def canonical(self) -> Dict[str, object]:
+        """The canonical JSON form the content hash is computed over."""
+        return {
+            "format": SPEC_FORMAT,
+            "scenario": self.scenario,
+            "params": self.params_dict,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+    def spec_hash(self) -> str:
+        """Stable content hash — the cache / artifact key."""
+        text = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def run_seed(self) -> int:
+        """Master seed for this run, derived from the campaign seed + spec.
+
+        Uses :func:`repro.sim.rng.derive_seed` so two grid points never share
+        random streams, yet re-running the same spec — serially or in a
+        worker process — reproduces the run exactly.
+        """
+        return derive_seed(self.seed, f"campaign:{self.spec_hash()}")
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines."""
+        if not self.params:
+            return self.scenario
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scenario}[{params}]"
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An ordered, de-duplicated list of runs."""
+
+    name: str
+    specs: Tuple[RunSpec, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def describe(self) -> str:
+        """One line per planned run (hash + label)."""
+        lines = [f"campaign {self.name!r}: {len(self.specs)} run(s)"]
+        for spec in self.specs:
+            lines.append(f"  {spec.spec_hash()}  {spec.label()}")
+        return "\n".join(lines)
+
+
+def expand_scenario(
+    spec: Scenario,
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    overrides: Optional[Mapping[str, Sequence[object]]] = None,
+) -> List[RunSpec]:
+    """Expand one scenario's grid (optionally overriding axis values).
+
+    The expansion order is deterministic: axes sorted by name, values in the
+    order the scenario (or the override) lists them.
+    """
+    axes: Dict[str, Tuple[object, ...]] = {k: tuple(v) for k, v in spec.axes.items()}
+    for axis, values in (overrides or {}).items():
+        if axis not in axes:
+            raise ScenarioError(
+                f"scenario {spec.name!r} has no axis {axis!r} "
+                f"(axes: {', '.join(sorted(axes)) or '<none>'})"
+            )
+        if not values:
+            raise ValueError(f"override for axis {axis!r} is empty")
+        axes[axis] = tuple(values)
+    names = sorted(axes)
+    out: List[RunSpec] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        out.append(
+            RunSpec.make(
+                spec.name,
+                params=dict(zip(names, combo)),
+                scale=scale,
+                seed=seed,
+            )
+        )
+    return out
+
+
+def plan_campaign(
+    scenario_names: Sequence[str],
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    overrides: Optional[Mapping[str, Sequence[object]]] = None,
+    name: str = "campaign",
+) -> CampaignPlan:
+    """Expand several scenarios into one de-duplicated, ordered plan.
+
+    Scenario order follows the request; within a scenario, grid order.
+    Axis overrides are applied to every scenario that has the axis and
+    rejected only if *no* requested scenario has it.
+    """
+    overrides = dict(overrides or {})
+    matched: set = set()
+    specs: List[RunSpec] = []
+    seen: set = set()
+    for scenario_name in scenario_names:
+        spec = get_scenario(scenario_name)
+        applicable = {k: v for k, v in overrides.items() if k in spec.axes}
+        matched.update(applicable)
+        for run in expand_scenario(spec, scale=scale, seed=seed, overrides=applicable):
+            key = run.spec_hash()
+            if key not in seen:
+                seen.add(key)
+                specs.append(run)
+    unmatched = set(overrides) - matched
+    if unmatched:
+        raise ScenarioError(
+            f"override axes {sorted(unmatched)} match no requested scenario"
+        )
+    return CampaignPlan(name=name, specs=tuple(specs))

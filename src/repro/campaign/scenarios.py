@@ -1,0 +1,260 @@
+"""Built-in scenarios: figure wrappers plus fine-grained sweep grids.
+
+Importing this module populates the registry with
+
+* every per-figure experiment (registered from the ``figure*.py`` modules
+  themselves via :func:`repro.campaign.registry.register_figure`), and
+* generic parameterized scenarios whose grids the executor can fan out one
+  cell at a time — the shape the paper's Figures 3 and 7 sweeps take when
+  they are expressed as campaigns instead of bespoke serial loops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro.allocation.policies import (
+    allocate_inter_blade_pair,
+    allocate_inter_chassis_pair,
+    allocate_inter_group_pair,
+    allocate_intra_blade_pair,
+    allocate_scattered,
+)
+from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
+from repro.analysis.stats import summarize
+from repro.campaign.registry import scenario
+from repro.core.policy import StaticRoutingPolicy
+from repro.experiments.harness import ExperimentScale, build_network, compare_policies
+from repro.mpi.job import MpiJob
+from repro.noise.background import BackgroundTraffic, NoiseLevel
+from repro.routing.modes import RoutingMode
+from repro.workloads.base import Workload
+from repro.workloads.microbench import (
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    BarrierBenchmark,
+    PingPongBenchmark,
+)
+
+# Import for the registration side effect: each figure module registers
+# itself as a zero-axis scenario.
+from repro.experiments import (  # noqa: F401  (imported for side effects)
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    model_validation,
+    table1,
+)
+
+
+def ensure_registered() -> None:
+    """No-op: importing this module performs every registration."""
+
+
+#: Placement name -> pair-allocation builder (the Figure 3 vocabulary).
+PLACEMENTS: Dict[str, Callable] = {
+    "inter-nodes": allocate_intra_blade_pair,
+    "inter-blades": allocate_inter_blade_pair,
+    "inter-chassis": allocate_inter_chassis_pair,
+    "inter-groups": allocate_inter_group_pair,
+}
+
+
+def _pair_allocation(placement: str, scale: ExperimentScale):
+    try:
+        builder = PLACEMENTS[placement]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {placement!r} (known: {', '.join(sorted(PLACEMENTS))})"
+        ) from None
+    return builder(scale.topology())
+
+
+@scenario(
+    name="pingpong-placement",
+    description="ping-pong latency/dispersion vs. placement, size and noise",
+    axes={
+        "placement": tuple(PLACEMENTS),
+        "message_kib": (4, 16),
+        "noise": ("none", "light"),
+    },
+    tags=("sweep", "microbench"),
+)
+def run_pingpong_placement(
+    scale: ExperimentScale, *, placement: str, message_kib: int, noise: str
+) -> Dict:
+    """One grid cell of the Figure-3-style allocation sweep."""
+    allocation = _pair_allocation(placement, scale)
+    message_bytes = scale.scaled_size(int(message_kib) * 1024)
+    network = build_network(scale)
+    background = BackgroundTraffic.for_level(
+        network,
+        list(allocation),
+        NoiseLevel(noise),
+        max_nodes=16,
+        name=f"pp-{placement}",
+    )
+    if background is not None:
+        background.start()
+    job = MpiJob(network, list(allocation), name=f"pp-{placement}")
+    workload = PingPongBenchmark(
+        size_bytes=message_bytes,
+        iterations=scale.pingpong_repetitions,
+        warmup=1,
+    )
+    result = workload.run(job)
+    if background is not None:
+        background.stop()
+    stats = summarize(result.iteration_times)
+    table = Table(
+        title=f"ping-pong {message_bytes} B, {placement}, noise={noise}",
+        columns=BOXPLOT_COLUMNS,
+    )
+    table.add_row(*boxplot_row(placement, result.iteration_times))
+    return {
+        "metrics": {"median": stats.median, "qcd": stats.qcd, "mean": stats.mean},
+        "data": {
+            "message_bytes": message_bytes,
+            "iteration_times": list(result.iteration_times),
+        },
+        "report": table.render(),
+    }
+
+
+@scenario(
+    name="routing-mode-pingpong",
+    description="static routing modes vs. placement on a large ping-pong",
+    axes={
+        "placement": ("intra-group", "inter-groups"),
+        "mode": tuple(mode.value for mode in RoutingMode),
+        "message_kib": (32,),
+    },
+    tags=("sweep", "routing"),
+)
+def run_routing_mode(
+    scale: ExperimentScale, *, placement: str, mode: str, message_kib: int
+) -> Dict:
+    """One grid cell of the Figure-7-style routing sweep."""
+    if placement == "intra-group":
+        allocation = allocate_inter_chassis_pair(scale.topology())
+    elif placement == "inter-groups":
+        allocation = allocate_inter_group_pair(scale.topology())
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    routing_mode = RoutingMode(mode)
+    message_bytes = scale.scaled_size(int(message_kib) * 1024)
+    network = build_network(scale)
+    background = BackgroundTraffic.for_level(
+        network,
+        list(allocation),
+        scale.noise_level,
+        max_nodes=16,
+        name=f"rm-{placement}",
+    )
+    if background is not None:
+        background.start()
+    job = MpiJob(
+        network,
+        list(allocation),
+        policy_factory=lambda: StaticRoutingPolicy(routing_mode),
+        name=f"rm-{placement}-{mode}",
+    )
+    sender = network.nic(allocation[0])
+    before = sender.counters.snapshot()
+    workload = PingPongBenchmark(
+        size_bytes=message_bytes,
+        iterations=scale.pingpong_repetitions,
+        warmup=1,
+    )
+    result = workload.run(job)
+    delta = sender.counters.snapshot().delta(before)
+    if background is not None:
+        background.stop()
+    stats = summarize(result.iteration_times)
+    return {
+        "metrics": {
+            "median": stats.median,
+            "qcd": stats.qcd,
+            "stall_ratio": delta.stall_ratio,
+            "avg_packet_latency": delta.avg_packet_latency,
+        },
+        "data": {
+            "message_bytes": message_bytes,
+            "iteration_times": list(result.iteration_times),
+        },
+        "report": (
+            f"{placement} / {mode} / {message_bytes} B: "
+            f"median {stats.median:.0f} cycles, QCD {stats.qcd:.4f}, "
+            f"s {delta.stall_ratio:.4f}, L {delta.avg_packet_latency:.1f}"
+        ),
+    }
+
+
+def _workload_factory(
+    name: str, scale: ExperimentScale
+) -> Callable[[], Workload]:
+    if name == "pingpong":
+        return lambda: PingPongBenchmark(
+            size_bytes=scale.scaled_size(16 * 1024),
+            iterations=scale.iterations,
+            pingpongs_per_iteration=4,
+        )
+    if name == "allreduce":
+        return lambda: AllreduceBenchmark(
+            elements=max(8, int(512 * scale.message_scale)),
+            iterations=scale.iterations,
+        )
+    if name == "alltoall":
+        return lambda: AlltoallBenchmark(
+            size_bytes=scale.scaled_size(1024), iterations=scale.iterations
+        )
+    if name == "barrier":
+        return lambda: BarrierBenchmark(
+            barriers_per_iteration=8, iterations=scale.iterations
+        )
+    raise ValueError(f"unknown workload {name!r}")
+
+
+@scenario(
+    name="policy-comparison",
+    description="Default vs. HighBias vs. AppAware on a scattered allocation",
+    axes={
+        "workload": ("pingpong", "allreduce", "alltoall", "barrier"),
+        "noise": ("light",),
+    },
+    tags=("sweep", "policy"),
+)
+def run_policy_comparison(scale: ExperimentScale, *, workload: str, noise: str) -> Dict:
+    """One (workload, noise) cell of a Figure-8-style policy comparison."""
+    topo = scale.topology()
+    rng = random.Random(scale.seed)
+    allocation = allocate_scattered(
+        topo, scale.small_job_nodes, rng, name=f"pc-{workload}"
+    )
+    comparison = compare_policies(
+        scale,
+        allocation,
+        _workload_factory(workload, scale),
+        noise_level=NoiseLevel(noise),
+    )
+    normalized = comparison.normalized_medians()
+    fraction = comparison.app_aware_fraction_default()
+    metrics = {f"normalized.{name}": value for name, value in normalized.items()}
+    if fraction is not None:
+        metrics["app_aware_default_fraction"] = fraction
+    table = Table(
+        title=f"policy comparison — {workload}, noise={noise}",
+        columns=["policy", "normalized median"],
+    )
+    for name, value in normalized.items():
+        table.add_row(name, value)
+    return {
+        "metrics": metrics,
+        "data": {"best": comparison.best_policy(), "allocation": allocation.name},
+        "report": table.render() + f"\nbest: {comparison.best_policy()}",
+    }

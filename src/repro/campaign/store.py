@@ -1,0 +1,163 @@
+"""Result cache + artifact store for campaign runs.
+
+Layout under the store root::
+
+    index.json            # spec hash -> run metadata (scenario, params, ...)
+    results/<hash>.json   # canonical JSON payload (byte-stable per spec)
+    reports/<hash>.txt    # human-readable report text
+
+Result JSON is written with sorted keys and a fixed indent, so the same
+:class:`~repro.campaign.plan.RunSpec` always produces byte-identical
+artifacts — the determinism tests rely on this, and it makes the store
+safely shareable/diffable across machines.  Only the executor's parent
+process writes the store, so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import pathlib
+from typing import Dict, List, Mapping, Optional
+
+from repro.campaign.plan import RunSpec
+
+
+def canonical_json(payload: Mapping) -> str:
+    """The byte-stable serialization used for all result artifacts."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+class ArtifactStore:
+    """Content-addressed store of campaign run results."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.results_dir = self.root / "results"
+        self.reports_dir = self.root / "reports"
+        self.index_path = self.root / "index.json"
+        # Directories are created lazily on first save() so that read-only
+        # commands (status, dry-run) don't create stores as a side effect.
+        self._index: Dict[str, Dict] = self._load_index()
+
+    # -- index ---------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, Dict]:
+        if self.index_path.exists():
+            return json.loads(self.index_path.read_text(encoding="utf-8"))
+        return {}
+
+    def _write_index(self) -> None:
+        # Merge with the on-disk index first so two processes sharing a store
+        # (each saving disjoint runs) don't clobber each other's entries;
+        # then write-then-rename so a crash mid-write can't truncate it.
+        on_disk = self._load_index()
+        on_disk.update(self._index)
+        self._index = on_disk
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(self._index), encoding="utf-8")
+        os.replace(tmp, self.index_path)
+
+    def index(self) -> Dict[str, Dict]:
+        """A copy of the index (hash -> metadata)."""
+        return {k: dict(v) for k, v in self._index.items()}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- cache protocol --------------------------------------------------------
+
+    def result_path(self, spec: RunSpec) -> pathlib.Path:
+        """Where the result JSON for a spec lives."""
+        return self.results_dir / f"{spec.spec_hash()}.json"
+
+    def report_path(self, spec: RunSpec) -> pathlib.Path:
+        """Where the report text for a spec lives."""
+        return self.reports_dir / f"{spec.spec_hash()}.txt"
+
+    def has(self, spec: RunSpec) -> bool:
+        """Whether a stored result exists for this exact spec."""
+        return spec.spec_hash() in self._index and self.result_path(spec).exists()
+
+    def load(self, spec: RunSpec) -> Dict:
+        """Load the stored payload for a spec (KeyError if absent)."""
+        if not self.has(spec):
+            raise KeyError(f"no stored result for {spec.label()} ({spec.spec_hash()})")
+        return json.loads(self.result_path(spec).read_text(encoding="utf-8"))
+
+    def save(
+        self,
+        spec: RunSpec,
+        payload: Mapping,
+        report: str = "",
+        elapsed: Optional[float] = None,
+    ) -> pathlib.Path:
+        """Persist one run's payload (and report text) and update the index."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.reports_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(spec)
+        path.write_text(canonical_json(payload), encoding="utf-8")
+        if report:
+            self.report_path(spec).write_text(report + "\n", encoding="utf-8")
+        entry: Dict[str, object] = {
+            "scenario": spec.scenario,
+            "params": spec.params_dict,
+            "scale": spec.scale,
+            "seed": spec.seed,
+            "result": str(path.relative_to(self.root)),
+        }
+        if report:
+            entry["report"] = str(self.report_path(spec).relative_to(self.root))
+        if elapsed is not None:
+            entry["elapsed_s"] = round(elapsed, 3)
+        if isinstance(payload, Mapping) and isinstance(payload.get("metrics"), Mapping):
+            entry["metrics"] = dict(payload["metrics"])
+        self._index[spec.spec_hash()] = entry
+        self._write_index()
+        return path
+
+    # -- reporting --------------------------------------------------------------
+
+    def status_rows(self) -> List[Dict[str, object]]:
+        """One row per stored run, for status tables and the CSV export."""
+        rows: List[Dict[str, object]] = []
+        for spec_hash in sorted(self._index):
+            entry = self._index[spec_hash]
+            row: Dict[str, object] = {
+                "hash": spec_hash,
+                "scenario": entry.get("scenario", "?"),
+                "scale": entry.get("scale", "?"),
+                "seed": entry.get("seed", ""),
+                "params": json.dumps(entry.get("params", {}), sort_keys=True),
+                "elapsed_s": entry.get("elapsed_s", ""),
+            }
+            for name, value in sorted((entry.get("metrics") or {}).items()):
+                row[f"metric.{name}"] = value
+            rows.append(row)
+        return rows
+
+    def export_csv(self, path) -> pathlib.Path:
+        """Write all stored runs (one row each, metrics flattened) as CSV."""
+        path = pathlib.Path(path)
+        rows = self.status_rows()
+        # Seed with the base columns so an empty store still gets a header.
+        columns: List[str] = ["hash", "scenario", "scale", "seed", "params", "elapsed_s"]
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def summary(self) -> Dict[str, int]:
+        """Stored-run counts per scenario."""
+        counts: Dict[str, int] = {}
+        for entry in self._index.values():
+            name = entry.get("scenario", "?")
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,22 +1,31 @@
-"""Command-line runner for the per-figure experiments.
+"""Command-line runner for the experiments and campaign engine.
 
-Usage::
+Legacy per-figure usage (kept stable)::
 
     python -m repro.experiments.cli --list
     python -m repro.experiments.cli figure3 figure7 --scale smoke
     python -m repro.experiments.cli all --scale paper --output results/
 
-Each experiment prints the same table the corresponding benchmark produces;
-``--output`` additionally writes one text file per experiment.
+Campaign usage (the ``repro`` console script maps here too)::
+
+    repro campaign list
+    repro campaign run all --workers 4 --store campaigns/
+    repro campaign run pingpong-placement --set message_kib=4,64 --dry-run
+    repro campaign status --store campaigns/
+
+``campaign run`` plans a sweep over the requested scenarios' parameter
+grids, skips every run whose spec hash is already in the artifact store and
+fans the rest out over worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     figure3,
@@ -31,7 +40,9 @@ from repro.experiments import (
 )
 from repro.experiments.harness import ExperimentScale
 
-#: Registry of runnable experiments: name -> (run, report).
+#: Registry of runnable experiments: name -> (run, report).  Kept for
+#: backwards compatibility; execution now goes through the campaign
+#: scenario registry (each module below registers itself there as well).
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "figure3": (figure3.run, figure3.report),
     "table1": (table1.run, table1.report),
@@ -44,12 +55,16 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "model_validation": (model_validation.run, model_validation.report),
 }
 
+#: Default artifact-store location for the campaign subcommands.
+DEFAULT_STORE = pathlib.Path("campaigns")
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
+    """The legacy (per-figure) CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Re-run the paper's experiments on the simulated Dragonfly.",
+        epilog="Use the 'campaign' subcommand for parallel, cached sweeps.",
     )
     parser.add_argument(
         "experiments",
@@ -75,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -92,17 +111,18 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    scale = ExperimentScale.smoke() if args.scale == "smoke" else ExperimentScale.paper()
+    scale = ExperimentScale.preset(args.scale)
     if args.seed is not None:
         scale = scale.with_seed(args.seed)
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
 
     for name in requested:
+        # The raw run/report pair, not the campaign runner: the legacy path
+        # only prints the report, so skip the metrics/data payload build.
         run, report = EXPERIMENTS[name]
         start = time.time()
-        result = run(scale)
-        text = report(result)
+        text = report(run(scale))
         elapsed = time.time() - start
         print(text)
         print(f"[{name} completed in {elapsed:.1f} s at scale '{scale.name}']\n")
@@ -111,5 +131,242 @@ def main(argv=None) -> int:
     return 0
 
 
+# -- campaign subcommands ---------------------------------------------------------
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro campaign ...`` (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Plan, execute and inspect cached parallel scenario sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="plan and execute a campaign")
+    run.add_argument(
+        "scenarios",
+        nargs="*",
+        default=[],
+        help="scenario names, 'all' (default), or 'figures'",
+    )
+    run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    run.add_argument("--seed", type=int, default=None, help="campaign master seed")
+    run.add_argument("--workers", type=int, default=1, help="worker processes")
+    run.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=DEFAULT_STORE,
+        help=f"artifact store directory (default: {DEFAULT_STORE}/)",
+    )
+    run.add_argument(
+        "--no-store", action="store_true", help="run without caching artifacts"
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2",
+        help="override an axis grid (repeatable)",
+    )
+    run.add_argument(
+        "--dry-run", action="store_true", help="print the plan, execute nothing"
+    )
+    run.add_argument(
+        "--force", action="store_true", help="re-execute runs already in the store"
+    )
+    run.add_argument(
+        "--csv", type=pathlib.Path, default=None, help="export the store as CSV"
+    )
+    run.add_argument(
+        "--reports", action="store_true", help="print each run's report table"
+    )
+
+    lst = sub.add_parser("list", help="list registered scenarios")
+    lst.add_argument("--tag", default=None, help="only scenarios with this tag")
+
+    status = sub.add_parser("status", help="summarize an artifact store")
+    status.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
+    status.add_argument(
+        "--csv", type=pathlib.Path, default=None, help="export the store as CSV"
+    )
+    return parser
+
+
+def parse_override(text: str) -> Tuple[str, List[object]]:
+    """Parse one ``--set axis=v1,v2`` item, coercing numeric values."""
+    if "=" not in text:
+        raise ValueError(f"expected AXIS=V1,V2 — got {text!r}")
+    axis, _, raw = text.partition("=")
+    values: List[object] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        values.append(_coerce(token))
+    if not axis or not values:
+        raise ValueError(f"expected AXIS=V1,V2 — got {text!r}")
+    return axis, values
+
+
+def _coerce(token: str) -> object:
+    for kind in (int, float):
+        try:
+            return kind(token)
+        except ValueError:
+            continue
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _resolve_scenarios(requested: Sequence[str]) -> List[str]:
+    """Expand the 'all'/'figures' keywords (valid in any position) and dedupe."""
+    from repro.campaign.registry import get_scenario, scenario_names
+
+    if not requested:
+        return list(scenario_names())
+    names: List[str] = []
+    for item in requested:
+        if item == "all":
+            expansion = scenario_names()
+        elif item == "figures":
+            expansion = scenario_names(tag="figure")
+        else:
+            get_scenario(item)  # raises with the known names on a typo
+            expansion = (item,)
+        for name in expansion:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``campaign`` subcommands."""
+    parser = build_campaign_parser()
+    args = parser.parse_args(argv)
+
+    from repro.campaign import (
+        ArtifactStore,
+        ensure_builtin_scenarios,
+        execute_plan,
+        plan_campaign,
+    )
+    from repro.campaign.plan import DEFAULT_SEED
+    from repro.campaign.registry import ScenarioError, all_scenarios
+
+    ensure_builtin_scenarios()
+
+    if args.command == "list":
+        from repro.analysis.reporting import Table
+
+        table = Table(
+            title="registered scenarios",
+            columns=["name", "grid", "axes", "tags", "description"],
+        )
+        for spec in all_scenarios():
+            if args.tag is not None and args.tag not in spec.tags:
+                continue
+            axes = ", ".join(
+                f"{axis}({len(values)})" for axis, values in sorted(spec.axes.items())
+            )
+            table.add_row(
+                spec.name,
+                spec.grid_size(),
+                axes or "-",
+                ",".join(spec.tags) or "-",
+                spec.description,
+            )
+        print(table.render())
+        return 0
+
+    if args.command == "status":
+        store = ArtifactStore(args.store)
+        from repro.analysis.reporting import campaign_metrics_table
+
+        print(f"store: {store.root} — {len(store)} stored run(s)")
+        for scenario_name, count in store.summary().items():
+            print(f"  {scenario_name}: {count}")
+        rows = store.status_rows()
+        if rows:
+            print()
+            print(campaign_metrics_table(rows))
+        if args.csv is not None:
+            path = store.export_csv(args.csv)
+            print(f"wrote {path}")
+        return 0
+
+    # -- run -----------------------------------------------------------------
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.no_store and args.csv is not None:
+        parser.error("--csv exports the artifact store and cannot combine with --no-store")
+    if args.dry_run and args.csv is not None:
+        parser.error("--csv exports executed results and cannot combine with --dry-run")
+    try:
+        names = _resolve_scenarios(args.scenarios)
+        overrides: Dict[str, List[object]] = {}
+        for item in args.overrides:
+            axis, values = parse_override(item)
+            if axis in overrides:
+                raise ValueError(
+                    f"axis {axis!r} overridden twice — use --set {axis}=v1,v2 "
+                    "for multiple values"
+                )
+            overrides[axis] = values
+        plan = plan_campaign(
+            names,
+            scale=args.scale,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            overrides=overrides,
+            name="+".join(names) if len(names) <= 3 else f"{len(names)}-scenarios",
+        )
+    except (ScenarioError, ValueError) as exc:
+        parser.error(str(exc))
+
+    store = None if args.no_store else ArtifactStore(args.store)
+    if args.dry_run:
+        print(plan.describe())
+        if store is not None:
+            cached = sum(1 for spec in plan if store.has(spec))
+            print(f"cache: {cached}/{len(plan)} already stored in {store.root}")
+        return 0
+
+    def progress(done: int, total: int, record) -> None:
+        if record.error:
+            status = f"FAILED: {record.error}"
+        elif record.cached:
+            status = "cached"
+        else:
+            status = f"{record.elapsed_s:.1f} s"
+        print(f"[{done}/{total}] {record.spec.spec_hash()}  {record.spec.label()}  ({status})")
+        if args.reports and record.ok and record.report:
+            print(record.report)
+
+    result = execute_plan(
+        plan,
+        store=store,
+        workers=args.workers,
+        progress=progress,
+        force=args.force,
+    )
+    print(result.summary())
+    if store is not None:
+        print(f"artifacts: {store.root}")
+        if args.csv is not None:
+            print(f"wrote {store.export_csv(args.csv)}")
+    return 1 if result.failed else 0
+
+
+def console_main() -> int:  # pragma: no cover - thin wrapper around main()
+    """Entry point for the ``repro`` console script (SIGPIPE-friendly)."""
+    try:
+        return main()
+    except BrokenPipeError:  # e.g. `repro campaign list | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
+
+
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in docs
-    sys.exit(main())
+    sys.exit(console_main())

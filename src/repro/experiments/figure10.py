@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.allocation.policies import allocate_scattered
+from repro.campaign.registry import register_figure
 from repro.analysis.reporting import Table
 from repro.experiments.harness import (
     ExperimentScale,
@@ -128,3 +129,27 @@ def report(result: Figure10Result) -> str:
             f"{small_winner} at {result.small_job_nodes} nodes"
         )
     return "\n".join(lines)
+
+
+def _campaign_metrics(result: Figure10Result) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for app, comparison in result.comparisons.items():
+        for policy, value in comparison.normalized_medians().items():
+            metrics[f"{app}.{policy}"] = value
+    return metrics
+
+
+register_figure(
+    "figure10",
+    run,
+    report,
+    description="application proxies under the three routing configurations",
+    metrics=_campaign_metrics,
+    data=lambda result: {
+        "job_nodes": result.job_nodes,
+        "small_job_nodes": result.small_job_nodes,
+        "allocation": result.allocation_summary,
+        "normalized": result.normalized(),
+        "fft_winners": list(result.fft_winners()),
+    },
+)

@@ -17,6 +17,7 @@ from typing import Dict, List
 from repro.allocation.policies import figure3_allocations
 from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
 from repro.analysis.stats import summarize
+from repro.campaign.registry import register_figure
 from repro.experiments.harness import ExperimentScale, build_network
 from repro.mpi.job import MpiJob
 from repro.noise.background import BackgroundTraffic
@@ -80,3 +81,22 @@ def report(result: Figure3Result) -> str:
     for name, times in result.samples.items():
         table.add_row(*boxplot_row(name, times))
     return table.render()
+
+
+def _campaign_metrics(result: Figure3Result) -> Dict[str, float]:
+    metrics = {f"median.{name}": value for name, value in result.medians().items()}
+    metrics.update({f"qcd.{name}": value for name, value in result.qcds().items()})
+    return metrics
+
+
+register_figure(
+    "figure3",
+    run,
+    report,
+    description="16 KiB ping-pong across the four Figure 3 placements",
+    metrics=_campaign_metrics,
+    data=lambda result: {
+        "message_bytes": result.message_bytes,
+        "samples": result.samples,
+    },
+)

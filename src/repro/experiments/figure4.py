@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
 from repro.analysis.stats import summarize
+from repro.campaign.registry import register_figure
 from repro.experiments.harness import ExperimentScale, build_network
 from repro.mpi.job import MpiJob
 from repro.workloads.microbench import AlltoallBenchmark
@@ -63,3 +64,20 @@ def report(result: Figure4Result) -> str:
     for size, times in sorted(result.samples.items()):
         table.add_row(*boxplot_row(f"{size} B", times))
     return table.render()
+
+
+def _campaign_metrics(result: Figure4Result) -> Dict[str, float]:
+    return {f"qcd.{size}": value for size, value in result.qcds().items()}
+
+
+register_figure(
+    "figure4",
+    run,
+    report,
+    description="intra-node Alltoall variability (host effects, no network)",
+    metrics=_campaign_metrics,
+    data=lambda result: {
+        "processes": result.processes,
+        "samples": {str(size): times for size, times in result.samples.items()},
+    },
+)

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 from repro.allocation.policies import allocate_inter_group_pair
 from repro.analysis.reporting import Table
 from repro.analysis.stats import quartile_coefficient_of_dispersion
+from repro.campaign.registry import register_figure
 from repro.experiments.harness import ExperimentScale, build_network
 from repro.mpi.job import MpiJob
 from repro.noise.background import BackgroundTraffic
@@ -97,3 +98,24 @@ def report(result: Figure5Result) -> str:
         ratio = qcd_time / qcd_latency if qcd_latency > 0 else float("inf")
         table.add_row(size, qcd_time, qcd_latency, ratio)
     return table.render()
+
+
+def _campaign_metrics(result: Figure5Result) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for size, (qcd_time, qcd_latency) in result.qcds().items():
+        metrics[f"qcd_time.{size}"] = qcd_time
+        metrics[f"qcd_latency.{size}"] = qcd_latency
+    return metrics
+
+
+register_figure(
+    "figure5",
+    run,
+    report,
+    description="execution-time QCD vs. packet-latency QCD (inter-group ping-pong)",
+    metrics=_campaign_metrics,
+    data=lambda result: {
+        "execution_times": {str(k): v for k, v in result.execution_times.items()},
+        "packet_latencies": {str(k): v for k, v in result.packet_latencies.items()},
+    },
+)

@@ -26,6 +26,7 @@ from typing import Dict, List
 from repro.allocation.policies import allocate_inter_chassis_pair, allocate_inter_group_pair
 from repro.analysis.reporting import Table
 from repro.analysis.stats import summarize
+from repro.campaign.registry import register_figure
 from repro.core.perf_model import estimate_transmission_cycles
 from repro.core.policy import StaticRoutingPolicy
 from repro.experiments.harness import ExperimentScale, build_network
@@ -172,3 +173,34 @@ def report(result: Figure7Result) -> str:
     for placement in PLACEMENTS:
         lines.append(f"winner ({placement}): {result.winner(placement)}")
     return "\n".join(lines)
+
+
+def _campaign_metrics(result: Figure7Result) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for (placement, mode), sample in result.series.items():
+        stats = summarize(sample.times)
+        metrics[f"median.{placement}.{mode}"] = stats.median
+        metrics[f"qcd.{placement}.{mode}"] = stats.qcd
+    return metrics
+
+
+register_figure(
+    "figure7",
+    run,
+    report,
+    description="routing-mode impact on a large-message ping-pong",
+    metrics=_campaign_metrics,
+    data=lambda result: {
+        "message_bytes": result.message_bytes,
+        "winners": {placement: result.winner(placement) for placement in PLACEMENTS},
+        "series": {
+            f"{placement}/{mode}": {
+                "times": sample.times,
+                "stall_ratios": sample.stall_ratios,
+                "latencies": sample.latencies,
+                "estimates": sample.estimates,
+            }
+            for (placement, mode), sample in result.series.items()
+        },
+    },
+)

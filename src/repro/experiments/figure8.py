@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.allocation.policies import allocate_scattered
+from repro.campaign.registry import register_figure
 from repro.analysis.reporting import Table
 from repro.experiments.harness import (
     ExperimentScale,
@@ -230,3 +231,39 @@ def report(result: MicrobenchmarkSuiteResult) -> str:
         f"{result.app_aware_win_rate() * 100:.0f}% of configurations"
     )
     return "\n".join(lines)
+
+
+def _suite_metrics(result: MicrobenchmarkSuiteResult) -> Dict[str, float]:
+    metrics: Dict[str, float] = {"app_aware_win_rate": result.app_aware_win_rate()}
+    for bench, label, comparison in result.comparisons:
+        for policy, value in comparison.normalized_medians().items():
+            metrics[f"{bench}.{label}.{policy}"] = value
+    return metrics
+
+
+def _suite_data(result: MicrobenchmarkSuiteResult) -> Dict[str, object]:
+    return {
+        "figure": result.figure,
+        "job_nodes": result.job_nodes,
+        "allocation": result.allocation_summary,
+        "rows": [
+            {
+                "benchmark": bench,
+                "input": label,
+                "normalized": comparison.normalized_medians(),
+                "best": comparison.best_policy(),
+                "app_aware_default_fraction": comparison.app_aware_fraction_default(),
+            }
+            for bench, label, comparison in result.comparisons
+        ],
+    }
+
+
+register_figure(
+    "figure8",
+    run,
+    report,
+    description="microbenchmark suite, large allocation, three routing configs",
+    metrics=_suite_metrics,
+    data=_suite_data,
+)

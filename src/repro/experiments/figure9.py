@@ -8,8 +8,11 @@ simply reuses the Figure 8 machinery with ``scale.small_job_nodes``.
 
 from __future__ import annotations
 
+from repro.campaign.registry import register_figure
 from repro.experiments.figure8 import (
     MicrobenchmarkSuiteResult,
+    _suite_data,
+    _suite_metrics,
     report as _report,
     run_small,
 )
@@ -24,3 +27,13 @@ def run(scale: ExperimentScale) -> MicrobenchmarkSuiteResult:
 def report(result: MicrobenchmarkSuiteResult) -> str:
     """Render the Figure 9 table."""
     return _report(result)
+
+
+register_figure(
+    "figure9",
+    run,
+    report,
+    description="microbenchmark suite on the small (Cori-like) allocation",
+    metrics=_suite_metrics,
+    data=_suite_data,
+)

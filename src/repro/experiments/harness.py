@@ -99,6 +99,16 @@ class ExperimentScale:
         )
 
     @classmethod
+    def preset(cls, name: str) -> "ExperimentScale":
+        """Look up a preset by name — the form used by campaign run specs."""
+        value = name.lower()
+        if value == "smoke":
+            return cls.smoke()
+        if value == "paper":
+            return cls.paper()
+        raise ValueError(f"unknown scale preset {name!r} (use 'smoke' or 'paper')")
+
+    @classmethod
     def from_env(cls, variable: str = "REPRO_BENCH_SCALE") -> "ExperimentScale":
         """Pick a preset from an environment variable.
 
@@ -107,12 +117,13 @@ class ExperimentScale:
         larger configuration (hours of pure-Python simulation — see
         EXPERIMENTS.md for per-figure runtime expectations).
         """
-        value = os.environ.get(variable, "smoke").lower()
-        if value == "smoke":
-            return cls.smoke()
-        if value == "paper":
-            return cls.paper()
-        raise ValueError(f"unknown {variable} value {value!r} (use 'smoke' or 'paper')")
+        value = os.environ.get(variable, "smoke")
+        try:
+            return cls.preset(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown {variable} value {value!r} (use 'smoke' or 'paper')"
+            ) from None
 
     # -- derived -------------------------------------------------------------------
 

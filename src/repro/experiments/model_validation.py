@@ -10,10 +10,11 @@ Piz Daint for sizes from 128 B to 16 MiB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.allocation.policies import allocate_scattered
 from repro.analysis.reporting import Table
+from repro.campaign.registry import register_figure
 from repro.core.perf_model import estimate_transmission_cycles, model_correlation
 from repro.experiments.harness import ExperimentScale, build_network
 from repro.mpi.job import MpiJob
@@ -108,3 +109,20 @@ def report(result: ModelValidationResult) -> str:
     lines = [table.render()]
     lines.append(f"overall correlation: {result.correlation():.3f} (paper reports ≈ 0.79)")
     return "\n".join(lines)
+
+
+def _campaign_metrics(result: ModelValidationResult) -> Dict[str, float]:
+    metrics = {"correlation": result.correlation()}
+    for size, corr in result.per_size_correlation().items():
+        metrics[f"correlation.{size}"] = corr
+    return metrics
+
+
+register_figure(
+    "model_validation",
+    run,
+    report,
+    description="Equation-2 performance-model validation sweep",
+    metrics=_campaign_metrics,
+    data=lambda result: {"samples": [list(sample) for sample in result.samples]},
+)

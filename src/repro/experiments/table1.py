@@ -11,11 +11,12 @@ Section 3.2 prescribes normalizing counters by the observation interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
 from repro.allocation.policies import allocate_contiguous
 from repro.analysis.reporting import Table
+from repro.campaign.registry import register_figure
 from repro.experiments.harness import ExperimentScale, build_network
 from repro.noise.background import BackgroundTraffic
 
@@ -103,3 +104,20 @@ def report(result: Table1Result) -> str:
         f"normalized per-unit ratio: {result.normalized_ratio():.2f}"
     )
     return "\n".join(lines)
+
+
+def _campaign_metrics(result: Table1Result) -> Dict[str, float]:
+    return {
+        "flit_ratio": result.flit_ratio(),
+        "normalized_ratio": result.normalized_ratio(),
+    }
+
+
+register_figure(
+    "table1",
+    run,
+    report,
+    description="idle-application counter correlation (Table 1)",
+    metrics=_campaign_metrics,
+    data=lambda result: {"rows": [asdict(row) for row in result.rows]},
+)

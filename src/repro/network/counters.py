@@ -22,6 +22,18 @@ from dataclasses import dataclass
 from repro.config import NicConfig
 
 
+class CounterWraparoundError(ValueError):
+    """A counter delta came out negative (hardware wraparound or reset).
+
+    Real PAPI/Aries counters are fixed-width registers: a later reading can
+    be *smaller* than an earlier one when the register wraps (or when
+    another tool reset the counter block mid-measurement).  Feeding such a
+    negative delta into the ``s``/``L`` derivations of Section 2.4 silently
+    corrupts the performance model, so :meth:`CounterSnapshot.delta` refuses
+    it by default.
+    """
+
+
 @dataclass(frozen=True)
 class CounterSnapshot:
     """An immutable copy of the NIC counters at one point in time."""
@@ -32,18 +44,56 @@ class CounterSnapshot:
     request_packets_cum_latency: float
     responses_received: int
 
-    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
-        """Counters accumulated since ``earlier`` (Section 3.2 normalization)."""
+    def delta(self, earlier: "CounterSnapshot", on_wraparound: str = "raise") -> "CounterSnapshot":
+        """Counters accumulated since ``earlier`` (Section 3.2 normalization).
+
+        ``on_wraparound`` controls what happens when a field decreased
+        between the two snapshots:
+
+        * ``"raise"`` (default) — raise :class:`CounterWraparoundError`
+          naming the offending counters;
+        * ``"clamp"`` — clamp the negative deltas to zero, keeping the
+          snapshot usable at the cost of undercounting the wrapped field.
+        """
+        if on_wraparound not in ("raise", "clamp"):
+            raise ValueError(
+                f"on_wraparound must be 'raise' or 'clamp', got {on_wraparound!r}"
+            )
+        # delta() sits in the per-ack hot path of AppAware runs, so the
+        # happy path stays five direct subtractions and one comparison.
+        flits = self.request_flits - earlier.request_flits
+        stalled = self.request_flits_stalled_cycles - earlier.request_flits_stalled_cycles
+        packets = self.request_packets - earlier.request_packets
+        latency = self.request_packets_cum_latency - earlier.request_packets_cum_latency
+        responses = self.responses_received - earlier.responses_received
+        if flits < 0 or stalled < 0 or packets < 0 or latency < 0 or responses < 0:
+            if on_wraparound == "raise":
+                wrapped = [
+                    f"{name} ({value})"
+                    for name, value in (
+                        ("request_flits", flits),
+                        ("request_flits_stalled_cycles", stalled),
+                        ("request_packets", packets),
+                        ("request_packets_cum_latency", latency),
+                        ("responses_received", responses),
+                    )
+                    if value < 0
+                ]
+                raise CounterWraparoundError(
+                    "counter(s) decreased between snapshots — hardware wraparound "
+                    f"or reset: {', '.join(wrapped)}"
+                )
+            flits = max(0, flits)
+            stalled = max(0, stalled)
+            packets = max(0, packets)
+            latency = max(0.0, latency)
+            responses = max(0, responses)
         return CounterSnapshot(
-            request_flits=self.request_flits - earlier.request_flits,
-            request_flits_stalled_cycles=(
-                self.request_flits_stalled_cycles - earlier.request_flits_stalled_cycles
-            ),
-            request_packets=self.request_packets - earlier.request_packets,
-            request_packets_cum_latency=(
-                self.request_packets_cum_latency - earlier.request_packets_cum_latency
-            ),
-            responses_received=self.responses_received - earlier.responses_received,
+            request_flits=flits,
+            request_flits_stalled_cycles=stalled,
+            request_packets=packets,
+            request_packets_cum_latency=latency,
+            responses_received=responses,
         )
 
     @property

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import NicConfig
-from repro.network.counters import CounterSnapshot, NicCounters
+from repro.network.counters import CounterSnapshot, CounterWraparoundError, NicCounters
 
 
 class TestNicCounters:
@@ -110,3 +110,73 @@ class TestCounterSnapshot:
             counters.on_stall(s)
         ratio = counters.snapshot().stall_ratio
         assert ratio == pytest.approx(sum(stalls) / sum(flits))
+
+
+class TestCounterWraparound:
+    """Hardening of CounterSnapshot.delta against counter wraparound/reset."""
+
+    def _snap(self, flits=100, stalled=50, packets=20, latency=4000.0, responses=20):
+        return CounterSnapshot(flits, stalled, packets, latency, responses)
+
+    def test_normal_delta_unchanged(self):
+        before = self._snap()
+        after = CounterSnapshot(150, 80, 30, 6000.0, 30)
+        delta = after.delta(before)
+        assert delta.request_flits == 50
+        assert delta.request_flits_stalled_cycles == 30
+        assert delta.request_packets == 10
+        assert delta.request_packets_cum_latency == pytest.approx(2000.0)
+        assert delta.responses_received == 10
+
+    def test_wraparound_raises_by_default(self):
+        before = self._snap(flits=100)
+        after = self._snap(flits=40)  # register wrapped (or was reset)
+        with pytest.raises(CounterWraparoundError) as excinfo:
+            after.delta(before)
+        assert "request_flits" in str(excinfo.value)
+
+    def test_wraparound_error_names_every_offending_field(self):
+        before = self._snap(flits=100, packets=50)
+        after = self._snap(flits=10, packets=5)
+        with pytest.raises(CounterWraparoundError) as excinfo:
+            after.delta(before)
+        message = str(excinfo.value)
+        assert "request_flits" in message
+        assert "request_packets" in message
+
+    def test_wraparound_is_a_value_error(self):
+        before = self._snap(responses=9)
+        after = self._snap(responses=3)
+        with pytest.raises(ValueError):
+            after.delta(before)
+
+    def test_clamp_mode_zeroes_only_wrapped_fields(self):
+        before = self._snap(flits=100, stalled=50)
+        after = CounterSnapshot(40, 90, 25, 5000.0, 25)
+        delta = after.delta(before, on_wraparound="clamp")
+        assert delta.request_flits == 0  # wrapped -> clamped
+        assert delta.request_flits_stalled_cycles == 40
+        assert delta.request_packets == 5
+        assert delta.responses_received == 5
+
+    def test_float_latency_clamped(self):
+        before = self._snap(latency=9000.0)
+        after = self._snap(latency=1000.0)
+        delta = after.delta(before, on_wraparound="clamp")
+        assert delta.request_packets_cum_latency == 0.0
+        assert isinstance(delta.request_packets_cum_latency, float)
+
+    def test_unknown_policy_rejected(self):
+        before = self._snap()
+        with pytest.raises(ValueError, match="on_wraparound"):
+            self._snap().delta(before, on_wraparound="ignore")
+
+    def test_reset_between_snapshots_detected(self):
+        counters = NicCounters()
+        counters.on_packet_injected(5)
+        counters.on_response(100.0)
+        before = counters.snapshot()
+        counters.reset()
+        counters.on_packet_injected(2)
+        with pytest.raises(CounterWraparoundError):
+            counters.snapshot().delta(before)
