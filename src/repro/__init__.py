@@ -4,7 +4,9 @@ through Application-Aware Routing* (De Sensi, Di Girolamo, Hoefler — SC '19).
 The package provides, from the bottom up:
 
 * a packet-level discrete-event simulator of an Aries-like Dragonfly network
-  (:mod:`repro.sim`, :mod:`repro.topology`, :mod:`repro.network`);
+  (:mod:`repro.sim`, :mod:`repro.topology`, :mod:`repro.network`), plus a
+  fast flow-level engine behind the same :class:`~repro.model.base.
+  NetworkModel` protocol (:mod:`repro.model`);
 * the routing modes of the Cray Aries interconnect, including UGAL adaptive
   routing with configurable minimal bias (:mod:`repro.routing`);
 * the paper's contribution: the NIC-counter performance model, the
@@ -48,6 +50,7 @@ from repro.core.policy import (
 )
 from repro.core.runtime import AppAwareRuntime
 from repro.core.selector import AppAwareSelector, SelectorParams
+from repro.model.base import NetworkModel, available_backends, build_network_model
 from repro.mpi.job import MpiJob, RankContext
 from repro.network.network import Network
 from repro.network.packet import Message, RdmaOp
@@ -72,6 +75,9 @@ __all__ = [
     "Simulator",
     "DragonflyTopology",
     "Network",
+    "NetworkModel",
+    "available_backends",
+    "build_network_model",
     "Message",
     "RdmaOp",
     "RoutingMode",

@@ -80,8 +80,16 @@ class CampaignResult:
 
 
 def scale_for(spec: RunSpec) -> ExperimentScale:
-    """The :class:`ExperimentScale` a spec executes at (seed already derived)."""
-    return ExperimentScale.preset(spec.scale).with_seed(spec.run_seed())
+    """The :class:`ExperimentScale` a spec executes at (seed already derived).
+
+    The spec's backend is threaded into the scale so that every network the
+    scenario builds through the harness resolves on the requested substrate.
+    """
+    return (
+        ExperimentScale.preset(spec.scale)
+        .with_seed(spec.run_seed())
+        .with_backend(spec.backend)
+    )
 
 
 def execute_spec(spec: RunSpec) -> Tuple[Dict, str, float]:

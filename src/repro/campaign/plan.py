@@ -16,25 +16,40 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.campaign.registry import SCALAR_TYPES, Scenario, ScenarioError, get_scenario
+from repro.campaign.registry import (
+    SCALAR_TYPES,
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    scenario_tags,
+)
 from repro.sim.rng import derive_seed
 
 #: Bump when the RunSpec -> result contract changes; invalidates all caches.
-SPEC_FORMAT = 1
+#: Format 2 added the network-model backend to the canonical form, so a
+#: cached flit-level result can never be served for a flow-level run.
+SPEC_FORMAT = 2
 
 #: Default campaign master seed (the paper year, as used by the harness).
 DEFAULT_SEED = 2019
 
+#: Scenarios carrying this tag only run on the flow backend (their runners
+#: pin it); the planner records that in the spec so hashes and cache
+#: entries are labelled truthfully regardless of the campaign's --backend.
+FLOW_ONLY_TAG = "flow-only"
+
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One planned run: a scenario at one grid point, at one scale and seed."""
+    """One planned run: a scenario at one grid point, scale, seed and backend."""
 
     scenario: str
     #: Sorted (axis, value) pairs — tuple form keeps the spec hashable.
     params: Tuple[Tuple[str, object], ...] = ()
     scale: str = "smoke"
     seed: int = DEFAULT_SEED
+    #: Network-model backend the run executes on (``flit`` or ``flow``).
+    backend: str = "flit"
 
     @staticmethod
     def make(
@@ -42,15 +57,30 @@ class RunSpec:
         params: Optional[Mapping[str, object]] = None,
         scale: str = "smoke",
         seed: int = DEFAULT_SEED,
+        backend: str = "flit",
     ) -> "RunSpec":
-        """Build a spec from a plain params mapping (validated, sorted)."""
+        """Build a spec from a plain params mapping (validated, sorted).
+
+        Scenarios tagged ``flow-only`` (looked up in the registry, tolerant
+        of unregistered names) are pinned to ``backend="flow"`` here — their
+        runners force that backend, and the spec hash must say so: a flow
+        result must never be cached under a flit label.
+        """
         items = sorted((params or {}).items())
         for key, value in items:
             if not isinstance(value, SCALAR_TYPES):
                 raise TypeError(
                     f"run parameter {key}={value!r} is not a JSON scalar"
                 )
-        return RunSpec(scenario=scenario, params=tuple(items), scale=scale, seed=seed)
+        if FLOW_ONLY_TAG in scenario_tags(scenario):
+            backend = "flow"
+        return RunSpec(
+            scenario=scenario,
+            params=tuple(items),
+            scale=scale,
+            seed=seed,
+            backend=backend,
+        )
 
     @property
     def params_dict(self) -> Dict[str, object]:
@@ -65,6 +95,7 @@ class RunSpec:
             "params": self.params_dict,
             "scale": self.scale,
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     def spec_hash(self) -> str:
@@ -83,10 +114,11 @@ class RunSpec:
 
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""
+        suffix = "" if self.backend == "flit" else f"@{self.backend}"
         if not self.params:
-            return self.scenario
+            return f"{self.scenario}{suffix}"
         params = ",".join(f"{k}={v}" for k, v in self.params)
-        return f"{self.scenario}[{params}]"
+        return f"{self.scenario}[{params}]{suffix}"
 
 
 @dataclass(frozen=True)
@@ -115,11 +147,14 @@ def expand_scenario(
     scale: str = "smoke",
     seed: int = DEFAULT_SEED,
     overrides: Optional[Mapping[str, Sequence[object]]] = None,
+    backend: str = "flit",
 ) -> List[RunSpec]:
     """Expand one scenario's grid (optionally overriding axis values).
 
     The expansion order is deterministic: axes sorted by name, values in the
-    order the scenario (or the override) lists them.
+    order the scenario (or the override) lists them.  Scenarios tagged
+    ``flow-only`` expand with ``backend="flow"`` no matter what was
+    requested (enforced in :meth:`RunSpec.make`).
     """
     axes: Dict[str, Tuple[object, ...]] = {k: tuple(v) for k, v in spec.axes.items()}
     for axis, values in (overrides or {}).items():
@@ -140,6 +175,7 @@ def expand_scenario(
                 params=dict(zip(names, combo)),
                 scale=scale,
                 seed=seed,
+                backend=backend,
             )
         )
     return out
@@ -151,6 +187,7 @@ def plan_campaign(
     seed: int = DEFAULT_SEED,
     overrides: Optional[Mapping[str, Sequence[object]]] = None,
     name: str = "campaign",
+    backend: str = "flit",
 ) -> CampaignPlan:
     """Expand several scenarios into one de-duplicated, ordered plan.
 
@@ -166,7 +203,9 @@ def plan_campaign(
         spec = get_scenario(scenario_name)
         applicable = {k: v for k, v in overrides.items() if k in spec.axes}
         matched.update(applicable)
-        for run in expand_scenario(spec, scale=scale, seed=seed, overrides=applicable):
+        for run in expand_scenario(
+            spec, scale=scale, seed=seed, overrides=applicable, backend=backend
+        ):
             key = run.spec_hash()
             if key not in seen:
                 seen.add(key)

@@ -175,6 +175,17 @@ def get_scenario(name: str) -> Scenario:
         raise ScenarioError(f"unknown scenario {name!r} (known: {known})") from None
 
 
+def scenario_tags(name: str) -> Tuple[str, ...]:
+    """Tags of a registered scenario, or ``()`` for unknown names.
+
+    Tolerant lookup: spec construction must work for scenario names that
+    are not (yet) registered — tests and ad hoc scripts build specs for
+    toy names — so this never raises.
+    """
+    spec = _REGISTRY.get(name)
+    return spec.tags if spec is not None else ()
+
+
 def scenario_names(tag: Optional[str] = None) -> Tuple[str, ...]:
     """Registered scenario names (optionally filtered by tag), sorted."""
     names = [

@@ -12,7 +12,7 @@ Importing this module populates the registry with
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
 from repro.allocation.policies import (
     allocate_inter_blade_pair,
@@ -24,8 +24,10 @@ from repro.allocation.policies import (
 from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
 from repro.analysis.stats import summarize
 from repro.campaign.registry import scenario
+from repro.config import SimulationConfig, TopologyConfig
 from repro.core.policy import StaticRoutingPolicy
 from repro.experiments.harness import ExperimentScale, build_network, compare_policies
+from repro.model.base import NetworkModel, build_network_model
 from repro.mpi.job import MpiJob
 from repro.noise.background import BackgroundTraffic, NoiseLevel
 from repro.routing.modes import RoutingMode
@@ -257,4 +259,198 @@ def run_policy_comparison(scale: ExperimentScale, *, workload: str, noise: str) 
         "metrics": metrics,
         "data": {"best": comparison.best_policy(), "allocation": allocation.name},
         "report": table.render() + f"\nbest: {comparison.best_policy()}",
+    }
+
+
+# -- large-topology scenarios (flow backend only) -----------------------------------
+#
+# These register system sizes the paper measured on (1000+ nodes of Piz
+# Daint) that the pure-Python flit simulator cannot reach in reasonable
+# time.  Their runners pin the flow backend, and the planner honours the
+# "flow-only" tag by expanding their RunSpecs with backend="flow" no
+# matter what --backend the campaign requested, so spec hashes and cache
+# entries are labelled truthfully.  `repro campaign list --tag flow-only`
+# makes the restriction discoverable.
+
+
+def _large_dragonfly(seed: int) -> SimulationConfig:
+    """An 11-group, 1056-node Dragonfly — Piz-Daint-like scale."""
+    return SimulationConfig(
+        topology=TopologyConfig(
+            num_groups=11,
+            chassis_per_group=6,
+            blades_per_chassis=4,
+            nodes_per_router=4,
+        ),
+        seed=seed,
+        backend="flow",
+    )
+
+
+def _drive_until(network: NetworkModel, done: Callable[[], bool], max_events: int = 50_000_000) -> None:
+    """Step the simulator until ``done()`` (noise traffic may never drain)."""
+    executed = 0
+    while not done():
+        if not network.sim.step():
+            raise RuntimeError("simulation ran out of events before completion")
+        executed += 1
+        if executed > max_events:
+            raise RuntimeError(f"exceeded {max_events} events")
+
+
+@scenario(
+    name="bisection-stress-large",
+    description="1056-node bisection exchange on the flow backend "
+    "(infeasible at flit granularity)",
+    axes={
+        "mode": ("ADAPTIVE_0", "ADAPTIVE_3", "MIN_HASH"),
+        "message_kib": (64,),
+        "noise": ("none", "moderate"),
+    },
+    tags=("sweep", "flow-only", "large"),
+)
+def run_bisection_stress_large(
+    scale: ExperimentScale, *, mode: str, message_kib: int, noise: str
+) -> Dict:
+    """Every node exchanges with its bisection partner, in waves.
+
+    The allocation spans all 1056 nodes; pairs are matched across the
+    group bisection so every message crosses optical links.  Waves of 64
+    pairs keep the number of concurrent fluid flows bounded.
+    """
+    config = _large_dragonfly(scale.seed)
+    network = build_network_model(config)
+    routing_mode = RoutingMode(mode)
+    message_bytes = scale.scaled_size(int(message_kib) * 1024)
+    half = network.num_nodes // 2
+    pairs: List[Tuple[int, int]] = [(n, half + n) for n in range(half)]
+    rng = random.Random(scale.seed)
+    rng.shuffle(pairs)
+    # Smoke scale exercises a slice of the machine; paper scale all of it.
+    if scale.name == "smoke":
+        pairs = pairs[: max(32, len(pairs) // 8)]
+
+    background = BackgroundTraffic.for_level(
+        network,
+        [node for pair in pairs for node in pair],
+        NoiseLevel(noise),
+        max_nodes=64,
+        name="bisection-noise",
+    )
+    if background is not None:
+        background.start()
+
+    wave_size = 64
+    times: List[int] = []
+    state = {"pending": 0, "next": 0}
+
+    def _on_acked(message) -> None:
+        state["pending"] -= 1
+        times.append(network.sim.now - message.submit_time)
+        if state["pending"] == 0 and state["next"] < len(pairs):
+            _send_wave()
+
+    def _send_wave() -> None:
+        wave = pairs[state["next"] : state["next"] + wave_size]
+        state["next"] += len(wave)
+        state["pending"] += 2 * len(wave)
+        for a, b in wave:
+            network.send(a, b, message_bytes, routing_mode=routing_mode, on_acked=_on_acked)
+            network.send(b, a, message_bytes, routing_mode=routing_mode, on_acked=_on_acked)
+
+    _send_wave()
+    _drive_until(network, lambda: state["pending"] == 0 and state["next"] >= len(pairs))
+    if background is not None:
+        background.stop()
+
+    stats = summarize(times)
+    flits = stalled = latency = responses = 0.0
+    for a, b in pairs:
+        for node in (a, b):
+            counters = network.nic(node).counters
+            flits += counters.request_flits
+            stalled += counters.request_flits_stalled_cycles
+            latency += counters.request_packets_cum_latency
+            responses += counters.responses_received
+    stall_ratio = stalled / flits if flits else 0.0
+    avg_latency = latency / responses if responses else 0.0
+    return {
+        "metrics": {
+            "median": stats.median,
+            "p95": stats.whisker_high,
+            "qcd": stats.qcd,
+            "stall_ratio": stall_ratio,
+            "avg_packet_latency": avg_latency,
+        },
+        "data": {
+            "nodes": network.num_nodes,
+            "pairs": len(pairs),
+            "message_bytes": message_bytes,
+            "backend": network.backend_name,
+        },
+        "report": (
+            f"bisection {len(pairs)} pair(s) on {network.num_nodes} nodes, "
+            f"{mode}/{noise}: median {stats.median:.0f} cycles, "
+            f"s {stall_ratio:.3f}, L {avg_latency:.1f}"
+        ),
+    }
+
+
+@scenario(
+    name="noise-sweep-large",
+    description="wide noise sweep around a scattered job on a 1056-node "
+    "machine (flow backend)",
+    axes={
+        "noise": ("none", "light", "moderate", "heavy"),
+        "noise_nodes": (64, 256),
+        "workload": ("pingpong", "allreduce"),
+    },
+    tags=("sweep", "flow-only", "large", "noise"),
+)
+def run_noise_sweep_large(
+    scale: ExperimentScale, *, noise: str, noise_nodes: int, workload: str
+) -> Dict:
+    """A 64-rank job measured under machine-wide background traffic."""
+    config = _large_dragonfly(scale.seed)
+    network = build_network_model(config)
+    rng = random.Random(scale.seed)
+    ranks = 16 if scale.name == "smoke" else 64
+    allocation = allocate_scattered(
+        config.topology, ranks, rng, name=f"nsl-{workload}"
+    )
+    level = NoiseLevel(noise)
+    background = BackgroundTraffic.for_level(
+        network,
+        list(allocation),
+        level,
+        max_nodes=int(noise_nodes),
+        fraction_of_free_nodes=0.9,
+        name="wide-noise",
+    )
+    if background is not None:
+        background.start()
+    job = MpiJob(network, list(allocation), name=f"nsl-{workload}-{noise}")
+    bench = _workload_factory(workload, scale)()
+    result = bench.run(job)
+    if background is not None:
+        background.stop()
+    stats = summarize(result.iteration_times)
+    return {
+        "metrics": {
+            "median": stats.median,
+            "qcd": stats.qcd,
+            "noise_messages": float(background.messages_sent if background else 0),
+        },
+        "data": {
+            "nodes": network.num_nodes,
+            "ranks": ranks,
+            "noise_nodes": int(noise_nodes) if background else 0,
+            "backend": network.backend_name,
+            "iteration_times": list(result.iteration_times),
+        },
+        "report": (
+            f"{workload} x{ranks} ranks on {network.num_nodes} nodes, "
+            f"noise={noise}({noise_nodes}): median {stats.median:.0f} cycles, "
+            f"QCD {stats.qcd:.4f}"
+        ),
     }

@@ -289,6 +289,11 @@ class SimulationConfig:
     #: Master seed for all random streams (topology wiring, routing choices,
     #: noise); per-component streams are derived deterministically from it.
     seed: int = 12345
+    #: Network-model backend resolving the traffic: ``"flit"`` is the
+    #: cycle-accurate flit-level simulator, ``"flow"`` the fast flow-level
+    #: engine.  Validated against the registry by
+    #: :func:`repro.model.build_network_model` (config stays import-light).
+    backend: str = "flit"
 
     def with_topology(self, **overrides) -> "SimulationConfig":
         """Return a copy with topology parameters replaced."""
@@ -309,6 +314,10 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy with a different master seed."""
         return replace(self, seed=seed)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """Return a copy selecting a different network-model backend."""
+        return replace(self, backend=backend)
 
     @classmethod
     def small(cls, seed: int = 12345, **topology_overrides) -> "SimulationConfig":

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="smoke",
         help="experiment scale preset (default: smoke)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("flit", "flow"),
+        default="flit",
+        help="network-model backend (default: flit)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="override the master seed")
     parser.add_argument(
         "--output",
@@ -111,7 +117,7 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    scale = ExperimentScale.preset(args.scale)
+    scale = ExperimentScale.preset(args.scale).with_backend(args.backend)
     if args.seed is not None:
         scale = scale.with_seed(args.seed)
     if args.output is not None:
@@ -150,6 +156,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="scenario names, 'all' (default), or 'figures'",
     )
     run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    run.add_argument(
+        "--backend",
+        choices=("flit", "flow"),
+        default="flit",
+        help="network-model backend: cycle-accurate 'flit' or fast 'flow' "
+        "(default: flit); backends hash into distinct cache keys",
+    )
     run.add_argument("--seed", type=int, default=None, help="campaign master seed")
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument(
@@ -320,6 +333,7 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed if args.seed is not None else DEFAULT_SEED,
             overrides=overrides,
             name="+".join(names) if len(names) <= 3 else f"{len(names)}-scenarios",
+            backend=args.backend,
         )
     except (ScenarioError, ValueError) as exc:
         parser.error(str(exc))

@@ -14,8 +14,8 @@ from repro.core.policy import (
     default_policy,
     high_bias_policy,
 )
+from repro.model.base import NetworkModel, build_network_model
 from repro.mpi.job import MpiJob
-from repro.network.network import Network
 from repro.noise.background import BackgroundTraffic, NoiseLevel
 from repro.workloads.base import Workload, WorkloadResult
 
@@ -57,6 +57,8 @@ class ExperimentScale:
     packet_payload_bytes: int = 64
     flit_payload_bytes: int = 16
     seed: int = 2019
+    #: Network-model backend the experiments run on (``flit`` or ``flow``).
+    backend: str = "flit"
 
     # -- presets -----------------------------------------------------------------
 
@@ -142,7 +144,11 @@ class ExperimentScale:
 
     def simulation_config(self, seed_offset: int = 0) -> SimulationConfig:
         """Full simulation configuration for this scale."""
-        config = SimulationConfig(topology=self.topology(), seed=self.seed + seed_offset)
+        config = SimulationConfig(
+            topology=self.topology(),
+            seed=self.seed + seed_offset,
+            backend=self.backend,
+        )
         return config.with_nic(
             packet_payload_bytes=self.packet_payload_bytes,
             flit_payload_bytes=self.flit_payload_bytes,
@@ -156,10 +162,14 @@ class ExperimentScale:
         """Copy with a different seed (different allocation / noise draw)."""
         return replace(self, seed=seed)
 
+    def with_backend(self, backend: str) -> "ExperimentScale":
+        """Copy selecting a different network-model backend."""
+        return replace(self, backend=backend)
 
-def build_network(scale: ExperimentScale, seed_offset: int = 0) -> Network:
-    """A fresh network for one experiment run."""
-    return Network(scale.simulation_config(seed_offset))
+
+def build_network(scale: ExperimentScale, seed_offset: int = 0) -> NetworkModel:
+    """A fresh substrate for one experiment run (backend per the scale)."""
+    return build_network_model(scale.simulation_config(seed_offset))
 
 
 def policy_factories(config: SimulationConfig) -> Dict[str, Callable[[], RoutingPolicy]]:
@@ -224,7 +234,7 @@ def compare_policies(
     selected = policies or list(factories)
     for policy_name in selected:
         factory = factories[policy_name]
-        network = Network(config)
+        network = build_network_model(config)
         noise = BackgroundTraffic.for_level(
             network, list(allocation), level, name=f"noise-{policy_name}"
         )

@@ -1,0 +1,32 @@
+"""Pluggable network-model backends behind the :class:`NetworkModel` protocol.
+
+The built-in backends are
+
+* ``flit`` — cycle-accurate flit-level simulation
+  (:class:`repro.network.network.Network`, bound in :mod:`repro.model.flit`);
+* ``flow`` — fast flow-level engine with max-min fair-share bandwidth
+  allocation (:class:`repro.model.flow.network.FlowNetwork`).
+
+Use :func:`build_network_model` to construct the substrate selected by a
+:class:`~repro.config.SimulationConfig` (or an explicit backend override).
+Registration is lazy — the factory imports the backend modules on first
+use — because :mod:`repro.network.network` itself imports
+:mod:`repro.model.base` to subclass the protocol; importing the concrete
+backends at package-import time would be circular.
+"""
+
+from repro.model.base import (
+    BackendError,
+    NetworkModel,
+    available_backends,
+    build_network_model,
+    register_backend,
+)
+
+__all__ = [
+    "BackendError",
+    "NetworkModel",
+    "available_backends",
+    "build_network_model",
+    "register_backend",
+]

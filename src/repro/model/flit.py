@@ -1,0 +1,18 @@
+"""Registration of the flit-level simulator as the ``flit`` backend.
+
+The concrete model lives in :mod:`repro.network.network`; this module only
+binds it into the backend registry so that
+``build_network_model(config, backend="flit")`` resolves to it.
+"""
+
+from __future__ import annotations
+
+from repro.model.base import register_backend
+from repro.network.network import Network
+
+
+def _build_flit(config=None, sim=None, streams=None) -> Network:
+    return Network(config=config, sim=sim, streams=streams)
+
+
+register_backend("flit", _build_flit)

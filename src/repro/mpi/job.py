@@ -1,9 +1,10 @@
 """The MPI-like job: rank placement, progress engine and point-to-point layer.
 
-An :class:`MpiJob` binds a set of ranks to compute nodes of a
-:class:`~repro.network.network.Network`, gives each rank a
-:class:`~repro.core.policy.RoutingPolicy`, and drives rank *programs*
-(Python generators yielding :class:`~repro.mpi.request.Request` objects).
+An :class:`MpiJob` binds a set of ranks to compute nodes of any
+:class:`~repro.model.base.NetworkModel` backend (flit-level or flow-level),
+gives each rank a :class:`~repro.core.policy.RoutingPolicy`, and drives rank
+*programs* (Python generators yielding :class:`~repro.mpi.request.Request`
+objects).
 
 Point-to-point semantics
 ------------------------
@@ -28,8 +29,8 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tu
 
 from repro.config import HostConfig
 from repro.core.policy import RoutingPolicy, default_policy
+from repro.model.base import NetworkModel
 from repro.mpi.request import Request
-from repro.network.network import Network
 from repro.network.packet import Message, RdmaOp
 from repro.routing.modes import RoutingMode
 from repro.sim.rng import RandomStreams
@@ -45,7 +46,7 @@ class MpiJob:
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkModel,
         rank_nodes: Sequence[int],
         policy_factory: Optional[PolicyFactory] = None,
         host_config: Optional[HostConfig] = None,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SimulationConfig
+from repro.model.base import NetworkModel
 from repro.network.link import Link
 from repro.network.nic import Nic
 from repro.network.packet import Message, Packet, RdmaOp
@@ -29,8 +30,17 @@ from repro.topology.dragonfly import DragonflyTopology, LinkKind
 from repro.topology.geometry import router_of_node
 
 
-class Network:
-    """A fully wired Dragonfly system ready to carry traffic."""
+class Network(NetworkModel):
+    """A fully wired Dragonfly system ready to carry traffic.
+
+    This is the cycle-accurate **flit-level** backend of the
+    :class:`~repro.model.base.NetworkModel` protocol: packets move flit by
+    flit through credit-flow-controlled links, so phantom congestion,
+    back-pressure stalls and adaptive-routing dynamics emerge from the
+    mechanics rather than a closed-form model.
+    """
+
+    backend_name = "flit"
 
     def __init__(
         self,

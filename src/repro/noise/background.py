@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence
 
-from repro.network.network import Network
+from repro.model.base import NetworkModel
 from repro.routing.modes import RoutingMode
 
 
@@ -31,7 +31,7 @@ class NoiseLevel(str, Enum):
 
 
 def noise_nodes_for(
-    network: Network,
+    network: NetworkModel,
     measured_nodes: Sequence[int],
     fraction: float = 0.5,
     rng: Optional[random.Random] = None,
@@ -94,7 +94,7 @@ class BackgroundTraffic:
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkModel,
         nodes: Sequence[int],
         message_bytes: int = 8192,
         utilization: float = 0.15,
@@ -185,7 +185,7 @@ class BackgroundTraffic:
     @classmethod
     def for_level(
         cls,
-        network: Network,
+        network: NetworkModel,
         measured_nodes: Sequence[int],
         level: NoiseLevel,
         message_bytes: int = 8192,

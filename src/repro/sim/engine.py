@@ -8,6 +8,10 @@ deterministic for a given seed.
 The event queue stores plain lists ``[time, seq, fn, args]`` so heap
 operations compare integers in C; cancellation simply clears the callback
 slot.  :class:`Event` is a thin handle wrapping such an entry.
+
+A live-event counter is maintained on schedule/cancel/execute so that
+:meth:`Simulator.empty` is O(1) instead of scanning the heap (which may
+hold arbitrarily many cancelled entries) on every call.
 """
 
 from __future__ import annotations
@@ -23,10 +27,11 @@ class SimulationError(RuntimeError):
 class Event:
     """A handle for a scheduled callback, usable to cancel it."""
 
-    __slots__ = ("entry",)
+    __slots__ = ("entry", "_sim")
 
-    def __init__(self, entry: list):
+    def __init__(self, entry: list, sim: Optional["Simulator"] = None):
         self.entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> int:
@@ -35,13 +40,22 @@ class Event:
 
     @property
     def cancelled(self) -> bool:
-        """True once :meth:`cancel` has been called."""
+        """True once :meth:`cancel` has been called (or the event ran)."""
         return self.entry[2] is None
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
+        """Mark the event so the simulator skips it.
+
+        Idempotent, and a no-op on an event that already executed — the
+        live-event counter is only decremented for a genuinely pending
+        event.
+        """
+        if self.entry[2] is None:
+            return
         self.entry[2] = None
         self.entry[3] = ()
+        if self._sim is not None:
+            self._sim._live_events -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -70,6 +84,7 @@ class Simulator:
         self._queue: List[list] = []
         self._events_executed: int = 0
         self._running: bool = False
+        self._live_events: int = 0
 
     # -- inspection ---------------------------------------------------------
 
@@ -88,9 +103,14 @@ class Simulator:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def live_events(self) -> int:
+        """Number of scheduled, not-yet-executed, not-cancelled events."""
+        return self._live_events
+
     def empty(self) -> bool:
-        """Return True when no live events remain."""
-        return not any(entry[2] is not None for entry in self._queue)
+        """Return True when no live events remain (O(1))."""
+        return self._live_events == 0
 
     # -- scheduling ---------------------------------------------------------
 
@@ -106,7 +126,8 @@ class Simulator:
         entry = [self._now + delay, self._seq, fn, args]
         self._seq += 1
         heapq.heappush(self._queue, entry)
-        return Event(entry)
+        self._live_events += 1
+        return Event(entry, self)
 
     def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -122,11 +143,18 @@ class Simulator:
         """Execute the next live event.  Return False if the queue is empty."""
         queue = self._queue
         while queue:
-            time, _seq, fn, args = heapq.heappop(queue)
+            entry = heapq.heappop(queue)
+            fn = entry[2]
             if fn is None:
                 continue
-            self._now = time
+            args = entry[3]
+            # Null the slot so a later cancel() of this event's handle is a
+            # no-op instead of double-decrementing the live counter.
+            entry[2] = None
+            entry[3] = ()
+            self._now = entry[0]
             self._events_executed += 1
+            self._live_events -= 1
             fn(*args)
             return True
         return False
@@ -154,10 +182,14 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(queue)
+                fn, args = entry[2], entry[3]
+                entry[2] = None  # see step(): protects against cancel-after-run
+                entry[3] = ()
                 self._now = entry[0]
                 self._events_executed += 1
+                self._live_events -= 1
                 executed += 1
-                entry[2](*entry[3])
+                fn(*args)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -174,8 +206,17 @@ class Simulator:
         return self._now
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
+        """Discard all pending events and rewind the clock to zero.
+
+        Entries are nulled before the queue is dropped so that Event
+        handles still held by callers become inert: cancelling one after a
+        reset must not touch the fresh live-event counter.
+        """
         self._now = 0
         self._seq = 0
+        for entry in self._queue:
+            entry[2] = None
+            entry[3] = ()
         self._queue.clear()
         self._events_executed = 0
+        self._live_events = 0

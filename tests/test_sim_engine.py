@@ -114,6 +114,79 @@ class TestCancellation:
         assert simulator.empty()
 
 
+class TestLiveEventCounter:
+    """``empty()`` is O(1): a counter tracks live (non-cancelled) events."""
+
+    def test_counter_follows_schedule_and_execute(self, simulator):
+        assert simulator.live_events == 0
+        simulator.schedule(1, lambda: None)
+        simulator.schedule(2, lambda: None)
+        assert simulator.live_events == 2
+        simulator.step()
+        assert simulator.live_events == 1
+        simulator.run()
+        assert simulator.live_events == 0
+        assert simulator.empty()
+
+    def test_double_cancel_decrements_once(self, simulator):
+        keeper = simulator.schedule(3, lambda: None)
+        event = simulator.schedule(5, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert simulator.live_events == 1
+        assert not simulator.empty()
+        del keeper
+
+    def test_empty_with_many_cancelled_entries_is_fast(self, simulator):
+        # The heap still holds the cancelled entries; empty() must not scan.
+        events = [simulator.schedule(10, lambda: None) for _ in range(1000)]
+        for event in events:
+            event.cancel()
+        assert simulator.pending_events == 1000
+        assert simulator.live_events == 0
+        assert simulator.empty()
+        simulator.run_until_idle()  # drains cancelled entries without firing
+
+    def test_reset_zeroes_counter(self, simulator):
+        simulator.schedule(5, lambda: None)
+        simulator.reset()
+        assert simulator.live_events == 0
+        assert simulator.empty()
+
+    def test_cancel_of_pre_reset_handle_is_inert(self, simulator):
+        """Event handles that survive a reset() must not corrupt the fresh
+        counter (regression: counter went to -1 and empty() stuck False)."""
+        stale = simulator.schedule(5, lambda: None)
+        simulator.reset()
+        stale.cancel()
+        assert simulator.live_events == 0
+        simulator.schedule(1, lambda: None)
+        assert not simulator.empty()
+        simulator.run_until_idle()
+        assert simulator.empty()
+
+    def test_cancel_after_execution_is_a_noop(self, simulator):
+        """A relief-style event that fires and is later cancelled must not
+        corrupt the live counter (regression: counter went negative and
+        run_until_idle raised on a drained simulator)."""
+        event = simulator.schedule(1, lambda: None)
+        simulator.step()
+        event.cancel()
+        assert simulator.live_events == 0
+        simulator.schedule(1, lambda: None)
+        assert simulator.live_events == 1
+        assert not simulator.empty()
+        simulator.run_until_idle()
+        assert simulator.empty()
+
+    def test_counter_matches_heap_scan(self, simulator):
+        events = [simulator.schedule(i % 7, lambda: None) for i in range(50)]
+        for event in events[::3]:
+            event.cancel()
+        scan = sum(1 for entry in simulator._queue if entry[2] is not None)
+        assert simulator.live_events == scan
+
+
 class TestRunControl:
     def test_run_until_horizon(self, simulator):
         hits = []
