@@ -397,6 +397,99 @@ def run_bisection_stress_large(
 
 
 @scenario(
+    name="bisection-full",
+    description="528-pair no-wave full-bisection exchange on 1056 nodes "
+    "(needs the vectorized flow solver's concurrency ceiling)",
+    axes={
+        "mode": ("ADAPTIVE_0", "ADAPTIVE_3", "MIN_HASH"),
+        "message_kib": (64,),
+        "noise": ("none", "moderate"),
+    },
+    tags=("sweep", "flow-only", "large"),
+)
+def run_bisection_full(
+    scale: ExperimentScale, *, mode: str, message_kib: int, noise: str
+) -> Dict:
+    """Every bisection pair exchanges simultaneously — no waves.
+
+    The stress shape `bisection-stress-large` throttles into waves of 64
+    pairs to keep the concurrent flow count near what the pure-Python
+    solver tolerated.  Here all 528 pairs (1056 messages, each spread over
+    several paths — thousands of concurrent fluid flows) are submitted in
+    the same cycle, which is the paper's actual full-machine bisection
+    pattern and the workload the vectorized incremental solver exists for.
+    """
+    config = _large_dragonfly(scale.seed)
+    network = build_network_model(config)
+    routing_mode = RoutingMode(mode)
+    message_bytes = scale.scaled_size(int(message_kib) * 1024)
+    half = network.num_nodes // 2
+    pairs: List[Tuple[int, int]] = [(n, half + n) for n in range(half)]
+
+    background = BackgroundTraffic.for_level(
+        network,
+        [node for pair in pairs for node in pair],
+        NoiseLevel(noise),
+        max_nodes=64,
+        name="bisection-full-noise",
+    )
+    if background is not None:
+        background.start()
+
+    times: List[int] = []
+    state = {"pending": 2 * len(pairs)}
+
+    def _on_acked(message) -> None:
+        state["pending"] -= 1
+        times.append(network.sim.now - message.submit_time)
+
+    for a, b in pairs:
+        network.send(a, b, message_bytes, routing_mode=routing_mode, on_acked=_on_acked)
+        network.send(b, a, message_bytes, routing_mode=routing_mode, on_acked=_on_acked)
+    peak_flows = network.active_flows
+    _drive_until(network, lambda: state["pending"] == 0)
+    if background is not None:
+        background.stop()
+
+    stats = summarize(times)
+    flits = stalled = latency = responses = 0.0
+    for a, b in pairs:
+        for node in (a, b):
+            counters = network.nic(node).counters
+            flits += counters.request_flits
+            stalled += counters.request_flits_stalled_cycles
+            latency += counters.request_packets_cum_latency
+            responses += counters.responses_received
+    stall_ratio = stalled / flits if flits else 0.0
+    avg_latency = latency / responses if responses else 0.0
+    solver_stats = getattr(network, "solver_stats", {})
+    return {
+        "metrics": {
+            "median": stats.median,
+            "p95": stats.whisker_high,
+            "qcd": stats.qcd,
+            "stall_ratio": stall_ratio,
+            "avg_packet_latency": avg_latency,
+            "peak_flows": float(peak_flows),
+        },
+        "data": {
+            "nodes": network.num_nodes,
+            "pairs": len(pairs),
+            "message_bytes": message_bytes,
+            "backend": network.backend_name,
+            "solver": getattr(network, "solver_kind", None),
+            "solver_stats": dict(solver_stats),
+        },
+        "report": (
+            f"full bisection, {len(pairs)} pairs x2 on {network.num_nodes} nodes "
+            f"({peak_flows} concurrent flows), {mode}/{noise}: "
+            f"median {stats.median:.0f} cycles, s {stall_ratio:.3f}, "
+            f"L {avg_latency:.1f}"
+        ),
+    }
+
+
+@scenario(
     name="noise-sweep-large",
     description="wide noise sweep around a scattered job on a 1056-node "
     "machine (flow backend)",

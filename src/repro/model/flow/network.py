@@ -43,6 +43,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SimulationConfig
 from repro.model.base import NetworkModel, register_backend
+from repro.model.flow.engine import default_engine_kind, make_engine
 from repro.model.flow.solver import FairShareSolver, FlowState
 from repro.network.counters import NicCounters
 from repro.network.packet import Message, RdmaOp
@@ -178,6 +179,7 @@ class FlowNetwork(NetworkModel):
         config: Optional[SimulationConfig] = None,
         sim: Optional[Simulator] = None,
         streams: Optional[RandomStreams] = None,
+        solver: Optional[str] = None,
     ):
         self.config = config or SimulationConfig()
         self.sim = sim or Simulator()
@@ -196,8 +198,15 @@ class FlowNetwork(NetworkModel):
         self.delivered_messages = 0
 
         # -- fluid engine state ------------------------------------------------
-        self._solver = FairShareSolver(self._capacity_of)
-        self._flows: Dict[int, FlowState] = {}
+        #: Solver engine resolving the global flow set: ``vectorized``
+        #: (NumPy, incremental — the default when NumPy is available) or
+        #: ``reference`` (pure Python); see :mod:`repro.model.flow.engine`.
+        self._solver_kind = solver if solver is not None else default_engine_kind()
+        self._engine = make_engine(self._solver_kind, self._capacity_of)
+        #: Small reference solver for the per-message solo solve in
+        #: :meth:`send` — a handful of sub-flows, where plain dicts beat
+        #: NumPy's setup cost.
+        self._solo_solver = FairShareSolver(self._capacity_of)
         self._flow_seq = 0
         #: Unconstrained demand (flits/cycle) per link, for overload scoring.
         self._link_demand: Dict[object, float] = {}
@@ -481,7 +490,7 @@ class FlowNetwork(NetworkModel):
             )
             self._flow_seq += 1
             entries.append((flow, path, minimal, fwd, back))
-        self._solver.solve([entry[0] for entry in entries])
+        self._solo_solver.solve([entry[0] for entry in entries])
         total_rate = sum(entry[0].rate for entry in entries)
         state.free_rate = min(self._inj_rate, total_rate)
 
@@ -540,7 +549,17 @@ class FlowNetwork(NetworkModel):
     @property
     def active_flows(self) -> int:
         """Number of fluid flows currently being resolved."""
-        return len(self._flows)
+        return len(self._engine)
+
+    @property
+    def solver_kind(self) -> str:
+        """Which fair-share engine resolves the flow set (``vectorized``/``reference``)."""
+        return self._solver_kind
+
+    @property
+    def solver_stats(self) -> Dict[str, int]:
+        """The engine's solve counters (full/incremental/skipped/rounds...)."""
+        return self._engine.stats
 
     # -- system-wide statistics -----------------------------------------------------
 
@@ -563,14 +582,14 @@ class FlowNetwork(NetworkModel):
     # -- fluid engine -----------------------------------------------------------------
 
     def _add_flow(self, flow: FlowState) -> None:
-        self._flows[flow.flow_id] = flow
+        self._engine.add_flow(flow)
         desired = min(flow.cap, self._inj_rate)
         for link in flow.links:
             self._link_demand[link] = self._link_demand.get(link, 0.0) + desired
         self._mark_dirty()
 
     def _drop_flow(self, flow: FlowState) -> None:
-        del self._flows[flow.flow_id]
+        self._engine.remove_flow(flow)
         desired = min(flow.cap, self._inj_rate)
         for link in flow.links:
             remaining = self._link_demand.get(link, 0.0) - desired
@@ -578,9 +597,15 @@ class FlowNetwork(NetworkModel):
                 self._link_demand.pop(link, None)
             else:
                 self._link_demand[link] = remaining
+        self._mark_dirty()
 
     def _mark_dirty(self) -> None:
-        """Coalesce same-cycle flow-set changes into one rate recomputation."""
+        """Coalesce same-cycle flow-set changes into one rate recomputation.
+
+        Every membership change — submissions *and* completions — funnels
+        through here, so a cycle with any mix of arrivals and drains runs
+        exactly one solve, after all of them have been applied.
+        """
         if self._dirty:
             return
         self._dirty = True
@@ -589,25 +614,21 @@ class FlowNetwork(NetworkModel):
     def _resolve(self) -> None:
         self._dirty = False
         self._advance_progress()
-        self._solver.solve(self._flows.values())
+        self._engine.solve()
         self._schedule_completion()
 
     def _advance_progress(self) -> None:
         now = self.sim.now
         dt = now - self._progress_time
         if dt > 0:
-            for flow in self._flows.values():
-                if flow.rate > 0.0:
-                    flow.remaining -= flow.rate * dt
-            self._progress_time = now
-        else:
-            self._progress_time = now
+            self._engine.advance(dt)
+        self._progress_time = now
 
     def _schedule_completion(self) -> None:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        horizon = self._solver.completion_horizon(self._flows.values())
+        horizon = self._engine.completion_horizon()
         if horizon == float("inf"):
             return
         delay = max(1, int(math.ceil(horizon)))
@@ -616,13 +637,15 @@ class FlowNetwork(NetworkModel):
     def _on_completion(self) -> None:
         self._completion_event = None
         self._advance_progress()
-        finished = [f for f in self._flows.values() if f.remaining <= _DRAINED]
+        finished = self._engine.drained(_DRAINED)
         for flow in finished:
             self._drop_flow(flow)
         for flow in finished:
             self._sub_flow_serialized(flow)
-        self._solver.solve(self._flows.values())
-        self._schedule_completion()
+        # No direct solve here: _drop_flow marked the engine dirty, and the
+        # coalesced _resolve (this cycle) re-solves once — together with any
+        # same-cycle submissions the serialization callbacks trigger.
+        self._mark_dirty()
 
     # -- message completion ---------------------------------------------------------
 

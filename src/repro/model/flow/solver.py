@@ -21,12 +21,30 @@ flows crossing it — the textbook water-filling fixed point.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, Iterable, List, Tuple
 
 LinkKey = Hashable
 
-#: Tolerance used when comparing rates/capacities (flits per cycle).
+#: Relative tolerance used when comparing rates/capacities.  Saturation and
+#: cap tests scale it by the capacity being compared against: float error in
+#: the progressive-filling arithmetic is relative to the operand magnitude,
+#: so an absolute epsilon mis-freezes links whose capacity is far from 1.0
+#: (a 1e6-flits/cycle link never gets within 1e-9 of empty; a 1e-6 link is
+#: "saturated" before any flow touches it).
 EPS = 1e-9
+
+
+def saturation_eps(capacity: float) -> float:
+    """Saturation tolerance for a link of the given capacity."""
+    return EPS * capacity
+
+
+def cap_eps(cap: float) -> float:
+    """Tolerance for a flow-rate cap comparison (finite caps scale, inf never hits)."""
+    if math.isinf(cap):
+        return EPS
+    return EPS * max(1.0, cap)
 
 
 class FlowState:
@@ -69,19 +87,28 @@ class FairShareSolver:
         #: ``capacity_of(link_key) -> flits/cycle`` for any link a flow uses.
         self._capacity_of = capacity_of
 
-    def solve(self, flows: Iterable[FlowState]) -> None:
-        """Assign ``flow.rate`` for every flow (progressive filling)."""
+    def solve(self, flows: Iterable[FlowState]) -> int:
+        """Assign ``flow.rate`` for every flow (progressive filling).
+
+        Returns the number of filling rounds performed (for the engine
+        statistics; callers are free to ignore it).
+        """
+        rounds = 0
         active: List[FlowState] = [f for f in flows]
         if not active:
-            return
-        # Residual capacity and unfrozen-flow count per link actually in use.
+            return rounds
+        # Residual capacity, saturation tolerance and unfrozen-flow count per
+        # link actually in use.
         residual: Dict[LinkKey, float] = {}
+        sat_eps: Dict[LinkKey, float] = {}
         count: Dict[LinkKey, int] = {}
         for flow in active:
             flow.rate = 0.0
             for link in flow.links:
                 if link not in residual:
-                    residual[link] = float(self._capacity_of(link))
+                    capacity = float(self._capacity_of(link))
+                    residual[link] = capacity
+                    sat_eps[link] = saturation_eps(capacity)
                     count[link] = 0
                 count[link] += 1
 
@@ -89,6 +116,7 @@ class FairShareSolver:
         # largest step allowed by the tightest link or flow cap.
         unfrozen = active
         while unfrozen:
+            rounds += 1
             step = min(f.cap - f.rate for f in unfrozen)
             for link, n in count.items():
                 if n > 0:
@@ -100,13 +128,13 @@ class FairShareSolver:
             for link, n in count.items():
                 if n > 0:
                     residual[link] -= step * n
-                    if residual[link] <= EPS:
+                    if residual[link] <= sat_eps[link]:
                         saturated.append(link)
             saturated_set = set(saturated)
             still: List[FlowState] = []
             for flow in unfrozen:
                 flow.rate += step
-                if flow.rate >= flow.cap - EPS:
+                if flow.rate >= flow.cap - cap_eps(flow.cap):
                     frozen = True
                 else:
                     frozen = any(link in saturated_set for link in flow.links)
@@ -120,6 +148,7 @@ class FairShareSolver:
                 # pathology; freeze everything rather than spin.
                 break
             unfrozen = still
+        return rounds
 
     def completion_horizon(self, flows: Iterable[FlowState]) -> float:
         """Cycles until the earliest flow drains at current rates (inf if none)."""

@@ -364,7 +364,7 @@ class TestLargeFlowScenarios:
         from repro.campaign.registry import get_scenario
 
         ensure_builtin_scenarios()
-        for name in ("bisection-stress-large", "noise-sweep-large"):
+        for name in ("bisection-stress-large", "bisection-full", "noise-sweep-large"):
             spec = get_scenario(name)
             assert "flow-only" in spec.tags
 
@@ -399,6 +399,24 @@ class TestLargeFlowScenarios:
         payload, _report, _elapsed = execute_spec(spec)
         assert payload["data"]["nodes"] == 1056
         assert payload["data"]["backend"] == "flow"
+        assert payload["metrics"]["median"] > 0
+
+    def test_bisection_full_runs_all_pairs_without_waves(self):
+        """The 528-pair no-wave grid the vectorized solver unlocked."""
+        from repro.campaign import ensure_builtin_scenarios, execute_spec
+
+        ensure_builtin_scenarios()
+        spec = RunSpec.make(
+            "bisection-full",
+            {"mode": "ADAPTIVE_0", "message_kib": 64, "noise": "none"},
+        )
+        assert spec.backend == "flow"
+        payload, _report, _elapsed = execute_spec(spec)
+        assert payload["data"]["nodes"] == 1056
+        assert payload["data"]["pairs"] == 528
+        # All 1056 messages in flight at once, each spread over paths:
+        # far beyond the ~1k-flow ceiling of the pure-Python solver.
+        assert payload["metrics"]["peak_flows"] >= 1056
         assert payload["metrics"]["median"] > 0
 
 
