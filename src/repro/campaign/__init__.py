@@ -11,7 +11,14 @@ runs whose spec hash already has a stored result
 (:mod:`repro.campaign.store`).
 """
 
-from repro.campaign.plan import CampaignPlan, RunSpec, expand_scenario, plan_campaign
+from repro.campaign.plan import (
+    AUTO_BACKEND,
+    CampaignPlan,
+    RunSpec,
+    expand_scenario,
+    plan_campaign,
+    scale_for,
+)
 from repro.campaign.registry import (
     Scenario,
     get_scenario,
@@ -20,26 +27,51 @@ from repro.campaign.registry import (
     scenario,
     scenario_names,
 )
-from repro.campaign.executor import CampaignResult, RunRecord, execute_plan, execute_spec
+from repro.campaign.router import (
+    BackendRouter,
+    BudgetError,
+    CellCost,
+    estimate_cell,
+    profile_for,
+    select_audit_pairs,
+)
+from repro.campaign.executor import (
+    AuditRecord,
+    CampaignResult,
+    RunRecord,
+    execute_plan,
+    execute_spec,
+    metric_deltas,
+)
 from repro.campaign.store import ArtifactStore
 
 __all__ = [
+    "AUTO_BACKEND",
     "ArtifactStore",
+    "AuditRecord",
+    "BackendRouter",
+    "BudgetError",
     "CampaignPlan",
     "CampaignResult",
+    "CellCost",
     "RunRecord",
     "RunSpec",
     "Scenario",
     "ensure_builtin_scenarios",
+    "estimate_cell",
     "execute_plan",
     "execute_spec",
     "expand_scenario",
     "get_scenario",
+    "metric_deltas",
     "plan_campaign",
+    "profile_for",
     "register",
     "register_figure",
+    "scale_for",
     "scenario",
     "scenario_names",
+    "select_audit_pairs",
 ]
 
 

@@ -14,6 +14,13 @@ scenarios registered anywhere else (e.g. ad hoc in a script) are then not
 visible to workers — register them in an imported module, or run with
 ``workers=1``.  Records are always returned in plan order regardless of
 which worker finished first.
+
+After the main pass the executor can run **flit audits**: a deterministic,
+seeded sample of the plan's flow-routed cells (``audit_fraction`` > 0,
+sampled by :func:`repro.campaign.router.select_audit_pairs`) is re-run on
+the flit backend and the flow-vs-flit metric deltas are persisted in the
+artifact store — the campaign-level spot-check against the high-fidelity
+simulator.
 """
 
 from __future__ import annotations
@@ -22,12 +29,14 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.campaign.plan import CampaignPlan, RunSpec
+# scale_for moved to the plan module (the planner's cost estimation and the
+# executor must resolve scales identically); re-exported here for back-compat.
+from repro.campaign.plan import CampaignPlan, RunSpec, scale_for  # noqa: F401
 from repro.campaign.registry import ScenarioError, get_scenario
-from repro.campaign.store import ArtifactStore
-from repro.experiments.harness import ExperimentScale
+from repro.campaign.router import select_audit_pairs
+from repro.campaign.store import ArtifactStore, max_abs_rel_delta
 
 
 @dataclass
@@ -48,12 +57,37 @@ class RunRecord:
 
 
 @dataclass
+class AuditRecord:
+    """One flow-vs-flit audit: the audited cell, its twin run, the deltas."""
+
+    #: The flow-routed cell that was audited.
+    spec: RunSpec
+    #: The concrete flit spec re-run for comparison.
+    twin: RunSpec
+    #: Outcome of the flit twin run (may be cached, may have failed).
+    record: RunRecord
+    #: metric name -> {"flow", "flit", "delta"[, "rel"]} over shared metrics.
+    deltas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the audit produced a comparable flit result."""
+        return self.record.ok
+
+    def max_abs_rel(self) -> Optional[float]:
+        """Largest relative deviation across the compared metrics."""
+        return max_abs_rel_delta(self.deltas)
+
+
+@dataclass
 class CampaignResult:
     """All records of one campaign execution, in plan order."""
 
     plan: CampaignPlan
     records: List[RunRecord] = field(default_factory=list)
     workers: int = 1
+    #: Flit audit re-runs of sampled flow-routed cells (post-pass).
+    audits: List[AuditRecord] = field(default_factory=list)
 
     @property
     def executed(self) -> int:
@@ -72,24 +106,15 @@ class CampaignResult:
 
     def summary(self) -> str:
         """One-line outcome summary."""
-        return (
+        text = (
             f"{len(self.records)} run(s): {self.executed} executed, "
             f"{self.cached} cached, {self.failed} failed "
             f"({self.workers} worker(s))"
         )
-
-
-def scale_for(spec: RunSpec) -> ExperimentScale:
-    """The :class:`ExperimentScale` a spec executes at (seed already derived).
-
-    The spec's backend is threaded into the scale so that every network the
-    scenario builds through the harness resolves on the requested substrate.
-    """
-    return (
-        ExperimentScale.preset(spec.scale)
-        .with_seed(spec.run_seed())
-        .with_backend(spec.backend)
-    )
+        if self.audits:
+            ok = sum(1 for audit in self.audits if audit.ok)
+            text += f", {ok}/{len(self.audits)} audit(s)"
+        return text
 
 
 def execute_spec(spec: RunSpec) -> Tuple[Dict, str, float]:
@@ -129,18 +154,55 @@ def _checked_json(spec: RunSpec, payload) -> Dict:
 ProgressFn = Callable[[int, int, RunRecord], None]
 
 
+def metric_deltas(flow_payload: Mapping, flit_payload: Mapping) -> Dict[str, Dict[str, float]]:
+    """Per-metric flow-vs-flit deltas over the metrics both payloads share.
+
+    Each entry carries the two absolute values, their difference
+    (``flow - flit``) and, when the flit value is non-zero, the relative
+    deviation ``delta / |flit|``.  Metrics present on only one side are
+    skipped — backends legitimately expose extra metrics (e.g. the flow
+    solver's ``peak_flows``).
+    """
+    flow_metrics = flow_payload.get("metrics") if isinstance(flow_payload, Mapping) else None
+    flit_metrics = flit_payload.get("metrics") if isinstance(flit_payload, Mapping) else None
+    if not isinstance(flow_metrics, Mapping) or not isinstance(flit_metrics, Mapping):
+        return {}
+    deltas: Dict[str, Dict[str, float]] = {}
+    for name in sorted(set(flow_metrics) & set(flit_metrics)):
+        try:
+            flow_value = float(flow_metrics[name])
+            flit_value = float(flit_metrics[name])
+        except (TypeError, ValueError):
+            continue
+        entry = {
+            "flow": flow_value,
+            "flit": flit_value,
+            "delta": flow_value - flit_value,
+        }
+        if flit_value:
+            entry["rel"] = (flow_value - flit_value) / abs(flit_value)
+        deltas[name] = entry
+    return deltas
+
+
 def execute_plan(
     plan: CampaignPlan,
     store: Optional[ArtifactStore] = None,
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     force: bool = False,
+    audit_fraction: float = 0.0,
 ) -> CampaignResult:
     """Execute a plan, using the store as a cache and artifact sink.
 
     ``workers > 1`` fans cache misses out over a process pool; results are
     reassembled in plan order either way.  ``force=True`` re-executes specs
     even when the store already holds them.
+
+    ``audit_fraction > 0`` enables the audit post-pass: a deterministic,
+    seeded sample of the plan's flow-routed cells is re-run on the flit
+    backend (serially — audits are a small high-fidelity sample by design)
+    and the flow-vs-flit deltas are recorded in the result and the store.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -189,7 +251,86 @@ def execute_plan(
                 finish(index, record)
 
     result.records = [r for r in records if r is not None]
+    if audit_fraction > 0.0:
+        _run_audits(plan, result, store, audit_fraction, force=force)
     return result
+
+
+def _run_audits(
+    plan: CampaignPlan,
+    result: CampaignResult,
+    store: Optional[ArtifactStore],
+    fraction: float,
+    force: bool = False,
+) -> None:
+    """The audit post-pass: re-run sampled flow cells on flit, record deltas.
+
+    The twin executes in the flow cell's RNG universe (see
+    :func:`_run_audit_twin`) so the deltas isolate model error.  Stored
+    audits are keyed by the *flow* spec's hash and reused on re-runs
+    (unless ``force``), so a repeated audited campaign is as incremental
+    as an unaudited one.
+    """
+    by_spec = {record.spec: record for record in result.records}
+    for flow_spec, twin in select_audit_pairs(plan, fraction):
+        flow_record = by_spec.get(flow_spec)
+        if flow_record is None or not flow_record.ok:
+            continue  # nothing comparable to audit against
+        if store is not None and not force and store.has_audit(flow_spec):
+            payload = store.load_audit(flow_spec)
+            deltas = payload.get("metrics", {}) if isinstance(payload, dict) else {}
+            twin_record = RunRecord(
+                spec=twin,
+                payload={
+                    "metrics": {
+                        name: entry.get("flit")
+                        for name, entry in deltas.items()
+                        if isinstance(entry, dict)
+                    }
+                },
+                cached=True,
+            )
+            result.audits.append(
+                AuditRecord(spec=flow_spec, twin=twin, record=twin_record, deltas=deltas)
+            )
+            continue
+        twin_record = _run_audit_twin(flow_spec, twin)
+        audit = AuditRecord(spec=flow_spec, twin=twin, record=twin_record)
+        if twin_record.ok:
+            audit.deltas = metric_deltas(flow_record.payload, twin_record.payload)
+            if store is not None:
+                store.save_audit(flow_spec, twin, audit.deltas)
+        result.audits.append(audit)
+
+
+def _run_audit_twin(flow_spec: RunSpec, twin: RunSpec) -> RunRecord:
+    """Execute a flit audit twin in the audited flow cell's RNG universe.
+
+    The scale is seeded with the *flow* spec's derived run seed — only the
+    substrate changes — so the twin reproduces the exact allocation and
+    noise draws of the audited run and the flow-vs-flit deltas measure the
+    flow model's error, not seed-to-seed variance.  That foreign seed is
+    also why the twin's result must never enter the ordinary run cache
+    (its ``routed_from="audit"`` hash keeps it out).
+    """
+    from repro.campaign import ensure_builtin_scenarios
+
+    try:
+        ensure_builtin_scenarios()
+        scenario = get_scenario(twin.scenario)
+        scale = scale_for(flow_spec).with_backend(twin.backend)
+        start = time.perf_counter()
+        payload = scenario.runner(scale, **twin.params_dict)
+        elapsed = time.perf_counter() - start
+        payload = _checked_json(twin, payload)
+    except Exception as exc:  # noqa: BLE001 - failures become part of the result
+        return RunRecord(spec=twin, error=f"{type(exc).__name__}: {exc}")
+    return RunRecord(
+        spec=twin,
+        payload=payload,
+        report=scenario.render_report(payload),
+        elapsed_s=elapsed,
+    )
 
 
 def _run_one(spec: RunSpec) -> RunRecord:

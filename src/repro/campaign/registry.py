@@ -56,6 +56,14 @@ class Scenario:
     tags: Tuple[str, ...] = ()
     #: Optional ``reporter(payload) -> str``; defaults to ``payload["report"]``.
     reporter: Optional[Callable[[Mapping], str]] = None
+    #: Optional ``cost_hints(scale, **params) -> mapping`` refining the
+    #: planner's per-cell workload profile for backend routing.  Recognized
+    #: keys (all optional): ``nodes`` (machine size, for scenarios that
+    #: build their own topology), ``messages`` (total messages incl.
+    #: background traffic), ``message_bytes`` (typical payload) and
+    #: ``concurrent_flows`` (peak in-flight fluid flows).  Scenarios
+    #: without hints are profiled with a generic scale-derived heuristic.
+    cost_hints: Optional[Callable[..., Mapping[str, float]]] = None
 
     def grid_size(self) -> int:
         """Number of runs the default grid expands to."""
@@ -108,6 +116,7 @@ def scenario(
     axes: Optional[Mapping[str, Sequence[object]]] = None,
     tags: Sequence[str] = (),
     reporter: Optional[Callable[[Mapping], str]] = None,
+    cost_hints: Optional[Callable[..., Mapping[str, float]]] = None,
 ) -> Callable[[Callable[..., Mapping]], Callable[..., Mapping]]:
     """Decorator registering a runner function as a scenario."""
 
@@ -123,6 +132,7 @@ def scenario(
                 runner=runner,
                 tags=tuple(tags),
                 reporter=reporter,
+                cost_hints=cost_hints,
             )
         )
         return runner
@@ -184,6 +194,16 @@ def scenario_tags(name: str) -> Tuple[str, ...]:
     """
     spec = _REGISTRY.get(name)
     return spec.tags if spec is not None else ()
+
+
+def scenario_cost_hints(name: str) -> Optional[Callable[..., Mapping[str, float]]]:
+    """Cost-hint callable of a registered scenario, or ``None``.
+
+    Tolerant like :func:`scenario_tags`: the planner profiles specs for
+    unregistered (toy/test) scenario names with the generic heuristic.
+    """
+    spec = _REGISTRY.get(name)
+    return spec.cost_hints if spec is not None else None
 
 
 def scenario_names(tag: Optional[str] = None) -> Tuple[str, ...]:

@@ -1,0 +1,327 @@
+"""Backend routing: cost-aware resolution of ``auto`` cells + audit sampling.
+
+The planner expands grids into :class:`~repro.campaign.plan.RunSpec`s; this
+module decides *where each cell runs*.  A :class:`BackendRouter` is the
+policy object :func:`~repro.campaign.plan.plan_campaign` consumes:
+
+1. every cell is profiled (:func:`profile_for` — machine size and traffic
+   volume from the scale preset, refined by the scenario's ``cost_hints``)
+   and costed under each backend with a registered cost model
+   (:mod:`repro.model.cost`);
+2. ``auto`` cells default to the highest-fidelity backend (``flit``), and
+   are demoted to the cheapest backend — greedily, biggest savings first —
+   until the plan's total estimated work fits the router's budget;
+3. cells the router resolved carry ``routed_from="auto"``, which enters
+   the spec hash (SPEC_FORMAT 3) so auto-routed results never alias
+   explicitly pinned cache entries.
+
+The module also owns the **audit sample**: a deterministic, seeded subset
+of flow-routed cells paired with their flit twins, which the executor
+re-runs on the high-fidelity backend to measure flow-vs-flit deltas
+(:func:`select_audit_pairs`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.plan import (
+    AUTO_BACKEND,
+    FLOW_ONLY_TAG,
+    CampaignPlan,
+    RunSpec,
+    scale_for,
+)
+from repro.campaign.registry import scenario_cost_hints, scenario_tags
+from repro.model.base import BackendError, available_cost_models, cost_model_for
+from repro.model.cost import CostEstimate, WorkloadProfile
+from repro.sim.rng import derive_seed
+
+#: Backends ordered most-faithful first; ``auto`` resolution prefers the
+#: leftmost backend whose cost model is registered.
+FIDELITY_ORDER: Tuple[str, ...] = ("flit", "flow")
+
+#: ``routed_from`` marker of flit audit twins.  An audit twin is *not* a
+#: plain flit run — it executes in the audited flow cell's RNG universe —
+#: so its hash must never alias an ordinary flit cache entry.
+AUDIT_PROVENANCE = "audit"
+
+
+class BudgetError(ValueError):
+    """The plan cannot fit the requested work budget on any routing."""
+
+
+@dataclass(frozen=True)
+class CellCost:
+    """Routing outcome of one cell: the concrete spec plus its estimates."""
+
+    #: The resolved (concrete-backend) spec.
+    spec: RunSpec
+    #: Backend the cell was routed to (== ``spec.backend``).
+    chosen: str
+    #: Why: ``explicit`` (caller pinned it), ``pinned`` (flow-only tag),
+    #: ``fidelity`` (auto default), ``cell-cap`` or ``budget`` (demoted).
+    reason: str
+    #: Per-backend estimates the decision was made over.
+    estimates: Mapping[str, CostEstimate]
+
+    @property
+    def work(self) -> float:
+        """Estimated work of the cell on its chosen backend."""
+        return self.estimates[self.chosen].work
+
+
+def _flits_per_message(scale, message_bytes: float) -> float:
+    """Request flits per message under the scale's NIC packetization."""
+    packet_bytes = max(1, scale.packet_payload_bytes)
+    flit_bytes = max(1, scale.flit_payload_bytes)
+    packets = max(1.0, math.ceil(message_bytes / packet_bytes))
+    payload_flits = max(1, math.ceil(packet_bytes / flit_bytes))
+    return packets * (1.0 + payload_flits)  # + 1 header flit per packet
+
+
+def _default_messages(scale) -> float:
+    """Generic traffic-volume heuristic for scenarios without cost hints.
+
+    Sized after the built-in sweeps: a ping-pong style exchange plus a few
+    messages per rank per iteration of a small collective job.  Scenarios
+    whose volume matters for routing should register ``cost_hints``.
+    """
+    pingpong = 2.0 * (scale.pingpong_repetitions + 1)
+    collective = scale.iterations * max(2, scale.small_job_nodes) * 4.0
+    return pingpong + collective
+
+
+def profile_for(spec: RunSpec) -> WorkloadProfile:
+    """Build the cost-model profile for one cell.
+
+    The machine comes from the spec's scale preset
+    (:func:`~repro.campaign.plan.scale_for`, unseeded — valid for ``auto``
+    specs); the traffic volume from the scenario's ``cost_hints`` callable
+    when registered, else from :func:`_default_messages`.  Hints may also
+    override ``nodes`` for scenarios that build their own (larger)
+    topology than the preset's.
+    """
+    scale = scale_for(spec, seeded=False)
+    topo = scale.topology()
+    hints_fn = scenario_cost_hints(spec.scenario)
+    hints: Dict[str, float] = {}
+    if hints_fn is not None:
+        hints = dict(hints_fn(scale, **spec.params_dict))
+    nodes = int(hints.get("nodes", topo.num_nodes))
+    if nodes != topo.num_nodes:
+        routers = max(1, nodes // max(1, topo.nodes_per_router))
+    else:
+        routers = topo.num_routers
+    links_per_router = max(
+        1,
+        (topo.blades_per_chassis - 1)
+        + (topo.chassis_per_group - 1)
+        + topo.global_links_per_router,
+    )
+    links = routers * links_per_router + 2 * nodes  # fabric + host links
+    messages = float(hints.get("messages", _default_messages(scale)))
+    message_bytes = float(
+        hints.get("message_bytes", scale.scaled_size(16 * 1024))
+    )
+    avg_hops = 3.0 + (2.0 if topo.num_groups > 1 else 0.0)
+    concurrent = float(hints.get("concurrent_flows", min(messages, 64.0)))
+    return WorkloadProfile(
+        nodes=nodes,
+        routers=routers,
+        links=links,
+        messages=messages,
+        flits_per_message=_flits_per_message(scale, message_bytes),
+        avg_hops=avg_hops,
+        concurrent_flows=concurrent,
+    )
+
+
+def _auto_candidates() -> Tuple[str, ...]:
+    """Backends an ``auto`` cell may resolve to, most-faithful first."""
+    modelled = set(available_cost_models())
+    ordered = tuple(name for name in FIDELITY_ORDER if name in modelled)
+    if not ordered:
+        raise BackendError(
+            "backend='auto' needs at least one backend with a registered "
+            f"cost model (have: {', '.join(sorted(modelled)) or '<none>'})"
+        )
+    return ordered
+
+
+def estimate_cell(
+    spec: RunSpec, backends: Optional[Sequence[str]] = None
+) -> Dict[str, CostEstimate]:
+    """Cost one cell under the given (or its applicable) backends.
+
+    A concrete spec is estimated on its own backend; an ``auto`` spec on
+    every auto candidate.  Backends without a cost model are annotated
+    with zero work (they cannot be auto-routed to, but an explicitly
+    pinned cell on such a backend must still plan).
+    """
+    profile = profile_for(spec)
+    if backends is None:
+        backends = _auto_candidates() if spec.is_auto else (spec.backend,)
+    estimates: Dict[str, CostEstimate] = {}
+    for name in backends:
+        try:
+            model = cost_model_for(name)
+        except BackendError:
+            estimates[name] = CostEstimate(
+                backend=name, work=0.0, detail={"unmodelled": 1.0}
+            )
+        else:
+            estimates[name] = model.estimate_cost(profile)
+    return estimates
+
+
+@dataclass(frozen=True)
+class BackendRouter:
+    """Plan-time policy resolving ``auto`` cells to concrete backends.
+
+    ``prefer`` is the fidelity default (an auto cell runs there unless a
+    cap forces it elsewhere); ``cell_cap`` caps any single cell's work;
+    ``budget`` caps the plan's total work.  Audit re-runs are *not* a
+    routing concern: pass ``audit_fraction`` to
+    :func:`~repro.campaign.executor.execute_plan` (or ``--audit-fraction``
+    on the CLI), which samples the routed plan via
+    :func:`select_audit_pairs`.
+    """
+
+    prefer: str = "flit"
+    budget: Optional[float] = None
+    cell_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.cell_cap is not None and self.cell_cap <= 0:
+            raise ValueError("cell_cap must be positive")
+
+    def route(self, specs: Sequence[RunSpec]) -> List[CellCost]:
+        """Resolve every spec to a concrete backend, honouring the caps.
+
+        Explicitly pinned cells are cost-annotated but never moved; their
+        estimated work still counts against the budget.  Raises
+        :class:`BudgetError` when even the cheapest routing of every
+        ``auto`` cell exceeds the budget.
+        """
+        chosen: List[str] = []
+        reasons: List[str] = []
+        estimates: List[Dict[str, CostEstimate]] = []
+        for spec in specs:
+            cell_estimates = estimate_cell(spec)
+            estimates.append(cell_estimates)
+            if not spec.is_auto:
+                # A budget over a cell we cannot cost would be a silent lie:
+                # the cell counts as free and "within budget" means nothing.
+                if self.budget is not None and cell_estimates[spec.backend].detail.get(
+                    "unmodelled"
+                ):
+                    raise BackendError(
+                        f"cell {spec.label()} is pinned to backend "
+                        f"{spec.backend!r}, which has no registered cost model "
+                        "— a --budget cannot be enforced over it"
+                    )
+                chosen.append(spec.backend)
+                reasons.append(
+                    "pinned"
+                    if FLOW_ONLY_TAG in scenario_tags(spec.scenario)
+                    else "explicit"
+                )
+                continue
+            candidates = list(cell_estimates)
+            pick = self.prefer if self.prefer in candidates else candidates[0]
+            reason = "fidelity"
+            if self.cell_cap is not None and cell_estimates[pick].work > self.cell_cap:
+                pick = min(candidates, key=lambda name: cell_estimates[name].work)
+                reason = "cell-cap"
+            chosen.append(pick)
+            reasons.append(reason)
+
+        if self.budget is not None:
+            total = sum(estimates[i][chosen[i]].work for i in range(len(specs)))
+            if total > self.budget:
+                # Demote auto cells to their cheapest backend, biggest
+                # savings first, until the plan fits.
+                demotable = []
+                for i, spec in enumerate(specs):
+                    if not spec.is_auto:
+                        continue
+                    cheapest = min(
+                        estimates[i], key=lambda name: estimates[i][name].work
+                    )
+                    savings = estimates[i][chosen[i]].work - estimates[i][cheapest].work
+                    if savings > 0:
+                        demotable.append((savings, i, cheapest))
+                demotable.sort(key=lambda item: (-item[0], item[1]))
+                for savings, i, cheapest in demotable:
+                    if total <= self.budget:
+                        break
+                    total -= savings
+                    chosen[i] = cheapest
+                    reasons[i] = "budget"
+                if total > self.budget:
+                    raise BudgetError(
+                        f"plan needs ~{total:.3g} work unit(s) even on the "
+                        f"cheapest routing, over the budget of {self.budget:.3g} "
+                        "— raise --budget, shrink the grid, or drop scenarios"
+                    )
+
+        cells: List[CellCost] = []
+        for i, spec in enumerate(specs):
+            resolved = spec.resolve(chosen[i]) if spec.is_auto else spec
+            cells.append(
+                CellCost(
+                    spec=resolved,
+                    chosen=chosen[i],
+                    reason=reasons[i],
+                    estimates=dict(estimates[i]),
+                )
+            )
+        return cells
+
+
+def select_audit_pairs(
+    plan: CampaignPlan, fraction: float
+) -> List[Tuple[RunSpec, RunSpec]]:
+    """Deterministic, seeded audit sample: flow-routed cells + flit twins.
+
+    Eligible cells run on the flow backend and belong to scenarios the
+    flit backend can execute (``flow-only`` scenarios are excluded — there
+    is no twin to audit against).  The sample size is
+    ``ceil(fraction x eligible)``, so any positive fraction audits at
+    least one cell; the draw is seeded from the campaign master seed via
+    :func:`repro.sim.rng.derive_seed`, so the same plan always audits the
+    same cells.  Pairs come back in plan order.
+
+    The flit twin carries ``routed_from="audit"``: the executor runs it in
+    the *flow cell's* RNG universe (same derived run seed, so allocation
+    and noise draws are identical and the recorded deltas isolate model
+    error from seed variance), which means its result is not a faithful
+    plain flit run — the distinct provenance hash keeps it out of the
+    ordinary flit cache.  Audit results are cached by the flow spec's hash
+    instead (:meth:`~repro.campaign.store.ArtifactStore.save_audit`).
+    """
+    if fraction <= 0.0:
+        return []
+    eligible = [
+        (index, spec)
+        for index, spec in enumerate(plan)
+        if spec.backend == "flow"
+        and FLOW_ONLY_TAG not in scenario_tags(spec.scenario)
+    ]
+    if not eligible:
+        return []
+    count = min(len(eligible), math.ceil(fraction * len(eligible)))
+    rng = random.Random(derive_seed(plan.seed, "campaign:audit"))
+    sampled = sorted(rng.sample(range(len(eligible)), count))
+    pairs: List[Tuple[RunSpec, RunSpec]] = []
+    for pick in sampled:
+        _, spec = eligible[pick]
+        twin = replace(spec, backend="flit", routed_from=AUDIT_PROVENANCE)
+        pairs.append((spec, twin))
+    return pairs

@@ -5,6 +5,8 @@ Layout under the store root::
     index.json            # spec hash -> run metadata (scenario, params, ...)
     results/<hash>.json   # canonical JSON payload (byte-stable per spec)
     reports/<hash>.txt    # human-readable report text
+    audits.json           # flow-spec hash -> audit metadata (flit twin, deltas)
+    audits/<hash>.json    # flow-vs-flit audit payload, keyed by the flow hash
 
 Result JSON is written with sorted keys and a fixed indent, so the same
 :class:`~repro.campaign.plan.RunSpec` always produces byte-identical
@@ -29,6 +31,22 @@ def canonical_json(payload: Mapping) -> str:
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
 
+def max_abs_rel_delta(deltas: Mapping[str, Mapping[str, float]]) -> Optional[float]:
+    """Largest ``|rel|`` across audit delta entries, or ``None`` if no entry
+    has one (all flit values zero, or no shared metrics at all).
+
+    The single definition shared by :class:`ArtifactStore.save_audit` and
+    :meth:`repro.campaign.executor.AuditRecord.max_abs_rel`, so the CLI run
+    line and the status table can never disagree about the same audit.
+    """
+    rels = [
+        abs(entry["rel"])
+        for entry in deltas.values()
+        if isinstance(entry, Mapping) and "rel" in entry
+    ]
+    return max(rels) if rels else None
+
+
 class ArtifactStore:
     """Content-addressed store of campaign run results."""
 
@@ -36,28 +54,35 @@ class ArtifactStore:
         self.root = pathlib.Path(root)
         self.results_dir = self.root / "results"
         self.reports_dir = self.root / "reports"
+        self.audits_dir = self.root / "audits"
         self.index_path = self.root / "index.json"
+        self.audits_index_path = self.root / "audits.json"
         # Directories are created lazily on first save() so that read-only
         # commands (status, dry-run) don't create stores as a side effect.
-        self._index: Dict[str, Dict] = self._load_index()
+        self._index: Dict[str, Dict] = self._load_json(self.index_path)
+        self._audits: Dict[str, Dict] = self._load_json(self.audits_index_path)
 
     # -- index ---------------------------------------------------------------
 
-    def _load_index(self) -> Dict[str, Dict]:
-        if self.index_path.exists():
-            return json.loads(self.index_path.read_text(encoding="utf-8"))
+    @staticmethod
+    def _load_json(path: pathlib.Path) -> Dict[str, Dict]:
+        if path.exists():
+            return json.loads(path.read_text(encoding="utf-8"))
         return {}
 
-    def _write_index(self) -> None:
+    def _merge_write(self, path: pathlib.Path, current: Dict[str, Dict]) -> Dict[str, Dict]:
         # Merge with the on-disk index first so two processes sharing a store
         # (each saving disjoint runs) don't clobber each other's entries;
         # then write-then-rename so a crash mid-write can't truncate it.
-        on_disk = self._load_index()
-        on_disk.update(self._index)
-        self._index = on_disk
-        tmp = self.index_path.with_suffix(".json.tmp")
-        tmp.write_text(canonical_json(self._index), encoding="utf-8")
-        os.replace(tmp, self.index_path)
+        on_disk = self._load_json(path)
+        on_disk.update(current)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(on_disk), encoding="utf-8")
+        os.replace(tmp, path)
+        return on_disk
+
+    def _write_index(self) -> None:
+        self._index = self._merge_write(self.index_path, self._index)
 
     def index(self) -> Dict[str, Dict]:
         """A copy of the index (hash -> metadata)."""
@@ -105,8 +130,11 @@ class ArtifactStore:
             "params": spec.params_dict,
             "scale": spec.scale,
             "seed": spec.seed,
+            "backend": spec.backend,
             "result": str(path.relative_to(self.root)),
         }
+        if spec.routed_from:
+            entry["routed_from"] = spec.routed_from
         if report:
             entry["report"] = str(self.report_path(spec).relative_to(self.root))
         if elapsed is not None:
@@ -116,6 +144,81 @@ class ArtifactStore:
         self._index[spec.spec_hash()] = entry
         self._write_index()
         return path
+
+    # -- audits -----------------------------------------------------------------
+
+    def audit_path(self, spec: RunSpec) -> pathlib.Path:
+        """Where the audit payload for a (flow) spec lives."""
+        return self.audits_dir / f"{spec.spec_hash()}.json"
+
+    def has_audit(self, spec: RunSpec) -> bool:
+        """Whether a flow-vs-flit audit exists for this exact (flow) spec."""
+        return spec.spec_hash() in self._audits and self.audit_path(spec).exists()
+
+    def save_audit(
+        self,
+        flow_spec: RunSpec,
+        flit_spec: RunSpec,
+        deltas: Mapping[str, Mapping[str, float]],
+    ) -> pathlib.Path:
+        """Persist one flow-vs-flit audit, keyed by the flow spec's hash.
+
+        The payload records both canonical spec forms and the per-metric
+        deltas (see :func:`repro.campaign.executor.metric_deltas`); the
+        ``audits.json`` index keeps the summary used by ``status``.
+        """
+        self.audits_dir.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, object] = {
+            "flow_spec": flow_spec.canonical(),
+            "flit_spec": flit_spec.canonical(),
+            "flow_hash": flow_spec.spec_hash(),
+            "flit_hash": flit_spec.spec_hash(),
+            "metrics": {k: dict(v) for k, v in deltas.items()},
+        }
+        path = self.audit_path(flow_spec)
+        path.write_text(canonical_json(payload), encoding="utf-8")
+        max_rel = max_abs_rel_delta(deltas)
+        entry: Dict[str, object] = {
+            "scenario": flow_spec.scenario,
+            "params": flow_spec.params_dict,
+            "flit_hash": flit_spec.spec_hash(),
+            "metrics_compared": len(deltas),
+            "audit": str(path.relative_to(self.root)),
+        }
+        if max_rel is not None:
+            entry["max_abs_rel_delta"] = round(max_rel, 6)
+        self._audits[flow_spec.spec_hash()] = entry
+        self._audits = self._merge_write(self.audits_index_path, self._audits)
+        return path
+
+    def load_audit(self, spec: RunSpec) -> Dict:
+        """Load the stored audit payload for a (flow) spec (KeyError if absent)."""
+        if not self.has_audit(spec):
+            raise KeyError(
+                f"no stored audit for {spec.label()} ({spec.spec_hash()})"
+            )
+        return json.loads(self.audit_path(spec).read_text(encoding="utf-8"))
+
+    def audit_index(self) -> Dict[str, Dict]:
+        """A copy of the audit index (flow hash -> audit metadata)."""
+        return {k: dict(v) for k, v in self._audits.items()}
+
+    def audit_rows(self) -> List[Dict[str, object]]:
+        """One row per stored audit, for the status table."""
+        rows: List[Dict[str, object]] = []
+        for flow_hash in sorted(self._audits):
+            entry = self._audits[flow_hash]
+            rows.append(
+                {
+                    "flow_hash": flow_hash,
+                    "flit_hash": entry.get("flit_hash", "?"),
+                    "scenario": entry.get("scenario", "?"),
+                    "params": json.dumps(entry.get("params", {}), sort_keys=True),
+                    "metrics_compared": entry.get("metrics_compared", 0),
+                    "max_abs_rel_delta": entry.get("max_abs_rel_delta", ""),
+                }
+            )
+        return rows
 
     # -- reporting --------------------------------------------------------------
 
@@ -130,6 +233,8 @@ class ArtifactStore:
                 "scale": entry.get("scale", "?"),
                 "seed": entry.get("seed", ""),
                 "params": json.dumps(entry.get("params", {}), sort_keys=True),
+                "backend": entry.get("backend", ""),
+                "routed_from": entry.get("routed_from", ""),
                 "elapsed_s": entry.get("elapsed_s", ""),
             }
             for name, value in sorted((entry.get("metrics") or {}).items()):
@@ -142,7 +247,10 @@ class ArtifactStore:
         path = pathlib.Path(path)
         rows = self.status_rows()
         # Seed with the base columns so an empty store still gets a header.
-        columns: List[str] = ["hash", "scenario", "scale", "seed", "params", "elapsed_s"]
+        columns: List[str] = [
+            "hash", "scenario", "scale", "seed", "params", "backend",
+            "routed_from", "elapsed_s",
+        ]
         for row in rows:
             for key in row:
                 if key not in columns:

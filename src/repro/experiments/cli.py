@@ -158,10 +158,30 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
     run.add_argument(
         "--backend",
-        choices=("flit", "flow"),
+        choices=("flit", "flow", "auto"),
         default="flit",
-        help="network-model backend: cycle-accurate 'flit' or fast 'flow' "
-        "(default: flit); backends hash into distinct cache keys",
+        help="network-model backend: cycle-accurate 'flit', fast 'flow', or "
+        "'auto' to cost every cell and route it at plan time (default: "
+        "flit); backends hash into distinct cache keys",
+    )
+    run.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="WORK",
+        help="cap the plan's total estimated work (abstract units, see "
+        "--dry-run); with --backend auto, cells are demoted to the cheapest "
+        "backend until the plan fits; flit audit re-runs are extra, outside "
+        "the budget (--dry-run reports their estimated work)",
+    )
+    run.add_argument(
+        "--audit-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of flow-routed cells to re-run on the flit backend "
+        "as a fidelity audit (any positive value audits at least one cell; "
+        "default: 0.1 with --backend auto, else 0)",
     )
     run.add_argument("--seed", type=int, default=None, help="campaign master seed")
     run.add_argument("--workers", type=int, default=1, help="worker processes")
@@ -207,18 +227,31 @@ def build_campaign_parser() -> argparse.ArgumentParser:
 
 
 def parse_override(text: str) -> Tuple[str, List[object]]:
-    """Parse one ``--set axis=v1,v2`` item, coercing numeric values."""
+    """Parse one ``--set axis=v1,v2`` item, coercing numeric values.
+
+    Empty tokens are rejected with the offending position named — silently
+    skipping them (the old behaviour) could leave an axis with no values
+    and expand to a zero-cell grid with no hint why.
+    """
     if "=" not in text:
         raise ValueError(f"expected AXIS=V1,V2 — got {text!r}")
     axis, _, raw = text.partition("=")
+    if not axis:
+        raise ValueError(f"override {text!r} names no axis (expected AXIS=V1,V2)")
+    if not raw.strip():
+        raise ValueError(
+            f"override {text!r} lists no values for axis {axis!r} "
+            "(expected AXIS=V1,V2)"
+        )
     values: List[object] = []
-    for token in raw.split(","):
+    for position, token in enumerate(raw.split(","), start=1):
         token = token.strip()
         if not token:
-            continue
+            raise ValueError(
+                f"override {text!r} has an empty value at position {position} "
+                f"for axis {axis!r}"
+            )
         values.append(_coerce(token))
-    if not axis or not values:
-        raise ValueError(f"expected AXIS=V1,V2 — got {text!r}")
     return axis, values
 
 
@@ -261,9 +294,12 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.campaign import (
         ArtifactStore,
+        BackendRouter,
+        BudgetError,
         ensure_builtin_scenarios,
         execute_plan,
         plan_campaign,
+        select_audit_pairs,
     )
     from repro.campaign.plan import DEFAULT_SEED
     from repro.campaign.registry import ScenarioError, all_scenarios
@@ -304,6 +340,24 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         if rows:
             print()
             print(campaign_metrics_table(rows))
+        audit_rows = store.audit_rows()
+        if audit_rows:
+            print()
+            print(f"audits: {len(audit_rows)} flow-vs-flit delta(s)")
+            for row in audit_rows:
+                rel = row["max_abs_rel_delta"]
+                if rel != "":
+                    rel_text = f"max |rel| {rel}"
+                elif row["metrics_compared"]:
+                    rel_text = (
+                        f"{row['metrics_compared']} metric(s), absolute deltas only"
+                    )
+                else:
+                    rel_text = "no shared metrics"
+                print(
+                    f"  {row['flow_hash']} vs {row['flit_hash']}  "
+                    f"{row['scenario']}{row['params']}  ({rel_text})"
+                )
         if args.csv is not None:
             path = store.export_csv(args.csv)
             print(f"wrote {path}")
@@ -316,6 +370,19 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--csv exports the artifact store and cannot combine with --no-store")
     if args.dry_run and args.csv is not None:
         parser.error("--csv exports executed results and cannot combine with --dry-run")
+    if args.audit_fraction is not None and not 0.0 <= args.audit_fraction <= 1.0:
+        parser.error("--audit-fraction must be within [0, 1]")
+    if args.budget is not None and args.budget <= 0:
+        parser.error("--budget must be positive")
+    # Auto campaigns audit a 10% sample by default; fixed-backend campaigns
+    # only audit when asked (there is no router choosing flow for them).
+    audit_fraction = args.audit_fraction
+    if audit_fraction is None:
+        audit_fraction = 0.1 if args.backend == "auto" else 0.0
+    # Audits alone need no router — they sample the plan at execute time.
+    router = None
+    if args.backend == "auto" or args.budget is not None:
+        router = BackendRouter(budget=args.budget)
     try:
         names = _resolve_scenarios(args.scenarios)
         overrides: Dict[str, List[object]] = {}
@@ -334,13 +401,34 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
             overrides=overrides,
             name="+".join(names) if len(names) <= 3 else f"{len(names)}-scenarios",
             backend=args.backend,
+            router=router,
         )
+    except BudgetError as exc:
+        print(f"budget error: {exc}", file=sys.stderr)
+        return 2
     except (ScenarioError, ValueError) as exc:
         parser.error(str(exc))
 
     store = None if args.no_store else ArtifactStore(args.store)
     if args.dry_run:
         print(plan.describe())
+        audit_pairs = select_audit_pairs(plan, audit_fraction)
+        if audit_pairs:
+            extra = ""
+            if plan.costs:
+                by_spec = {cell.spec: cell for cell in plan.costs}
+                audit_work = sum(
+                    by_spec[flow_spec].estimates["flit"].work
+                    for flow_spec, _ in audit_pairs
+                    if flow_spec in by_spec and "flit" in by_spec[flow_spec].estimates
+                )
+                extra = (
+                    f" (~{audit_work:,.0f} units of flit work, "
+                    "not counted against the budget)"
+                )
+            print(f"audits: {len(audit_pairs)} flit re-run(s) scheduled{extra}")
+            for flow_spec, twin in audit_pairs:
+                print(f"  {flow_spec.spec_hash()} -> {twin.spec_hash()}  {twin.label()}")
         if store is not None:
             cached = sum(1 for spec in plan if store.has(spec))
             print(f"cache: {cached}/{len(plan)} already stored in {store.root}")
@@ -363,7 +451,29 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         progress=progress,
         force=args.force,
+        audit_fraction=audit_fraction,
     )
+    for audit in result.audits:
+        if not audit.ok:
+            print(
+                f"[audit] {audit.spec.spec_hash()}  {audit.twin.label()}  "
+                f"FAILED: {audit.record.error}"
+            )
+            continue
+        rel = audit.max_abs_rel()
+        if rel is not None:
+            rel_text = f"max |rel delta| {rel:.4f}"
+        elif audit.deltas:
+            # Metrics were compared but every flit value was zero, so no
+            # relative deviation exists — only absolute deltas.
+            rel_text = f"{len(audit.deltas)} metric(s), absolute deltas only"
+        else:
+            rel_text = "no shared metrics"
+        status = "cached" if audit.record.cached else f"{audit.record.elapsed_s:.1f} s"
+        print(
+            f"[audit] {audit.spec.spec_hash()} vs {audit.twin.spec_hash()}  "
+            f"{audit.twin.label()}  ({status}, {rel_text})"
+        )
     print(result.summary())
     if store is not None:
         print(f"artifacts: {store.root}")

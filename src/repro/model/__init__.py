@@ -13,20 +13,35 @@ Registration is lazy — the factory imports the backend modules on first
 use — because :mod:`repro.network.network` itself imports
 :mod:`repro.model.base` to subclass the protocol; importing the concrete
 backends at package-import time would be circular.
+
+Every backend also registers a :class:`~repro.model.cost.CostModel` — an
+estimator mapping a :class:`~repro.model.cost.WorkloadProfile` to abstract
+work units — which the campaign planner uses to route grid cells to the
+cheapest adequate backend (``backend="auto"``).
 """
 
 from repro.model.base import (
     BackendError,
     NetworkModel,
     available_backends,
+    available_cost_models,
     build_network_model,
+    cost_model_for,
     register_backend,
+    register_cost_model,
 )
+from repro.model.cost import CostEstimate, CostModel, WorkloadProfile
 
 __all__ = [
     "BackendError",
+    "CostEstimate",
+    "CostModel",
     "NetworkModel",
+    "WorkloadProfile",
     "available_backends",
+    "available_cost_models",
     "build_network_model",
+    "cost_model_for",
     "register_backend",
+    "register_cost_model",
 ]

@@ -33,6 +33,7 @@ import abc
 from typing import Callable, ClassVar, Dict, Iterable, Optional, TYPE_CHECKING
 
 from repro.config import SimulationConfig
+from repro.model.cost import CostModel
 from repro.routing.modes import RoutingMode
 from repro.network.packet import Message, RdmaOp
 
@@ -139,10 +140,12 @@ def _ensure_builtins() -> None:
 
     Lazy because :mod:`repro.network.network` imports this module to
     subclass :class:`NetworkModel`; importing it back at package-import
-    time would be circular.
+    time would be circular.  Each backend module also registers its cost
+    model, so the cost registry is populated by the same imports.
     """
     from repro.model import flit as _flit  # noqa: F401 - registration side effect
     from repro.model.flow import network as _flow  # noqa: F401 - registration side effect
+    from repro.model.flow import cost as _flow_cost  # noqa: F401 - registration side effect
 
 
 def available_backends() -> tuple:
@@ -174,3 +177,38 @@ def build_network_model(
             f"unknown network-model backend {name!r} (known: {known})"
         ) from None
     return factory(config=config, sim=sim, streams=streams)
+
+
+#: backend name -> :class:`~repro.model.cost.CostModel` estimating its runs.
+_COST_MODELS: Dict[str, CostModel] = {}
+
+
+def register_cost_model(model: CostModel) -> None:
+    """Register a backend's cost estimator under its ``backend_name``.
+
+    The cost registry parallels the backend registry: a backend without a
+    cost model still runs, it just cannot be auto-routed to by the campaign
+    planner (:mod:`repro.campaign.router`).
+    """
+    name = model.backend_name
+    if name in _COST_MODELS:
+        raise BackendError(f"cost model for backend {name!r} is already registered")
+    _COST_MODELS[name] = model
+
+
+def cost_model_for(name: str) -> CostModel:
+    """The cost estimator registered for a backend name."""
+    _ensure_builtins()
+    try:
+        return _COST_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_COST_MODELS)) or "<none>"
+        raise BackendError(
+            f"no cost model registered for backend {name!r} (known: {known})"
+        ) from None
+
+
+def available_cost_models() -> tuple:
+    """Backend names that have a registered cost model, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_COST_MODELS))

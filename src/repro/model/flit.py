@@ -2,12 +2,15 @@
 
 The concrete model lives in :mod:`repro.network.network`; this module only
 binds it into the backend registry so that
-``build_network_model(config, backend="flit")`` resolves to it.
+``build_network_model(config, backend="flit")`` resolves to it, and
+registers the backend's cost estimator (an event-count proxy — see
+:class:`repro.model.cost.FlitCostModel`) alongside.
 """
 
 from __future__ import annotations
 
-from repro.model.base import register_backend
+from repro.model.base import register_backend, register_cost_model
+from repro.model.cost import FlitCostModel
 from repro.network.network import Network
 
 
@@ -16,3 +19,4 @@ def _build_flit(config=None, sim=None, streams=None) -> Network:
 
 
 register_backend("flit", _build_flit)
+register_cost_model(FlitCostModel())

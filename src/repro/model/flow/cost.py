@@ -1,0 +1,16 @@
+"""Registration of the flow backend's cost estimator.
+
+The estimator itself (:class:`repro.model.cost.FlowCostModel` — the
+``O(flows x links x fill-rounds)`` solver-work proxy) lives next to the
+:class:`~repro.model.cost.CostModel` protocol; this module binds it into
+the registry, mirroring how :mod:`repro.model.flow.network` binds the
+backend constructor.  Both are imported together by
+:func:`repro.model.base._ensure_builtins`.
+"""
+
+from __future__ import annotations
+
+from repro.model.base import register_cost_model
+from repro.model.cost import FlowCostModel
+
+register_cost_model(FlowCostModel())
