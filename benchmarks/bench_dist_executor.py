@@ -1,0 +1,144 @@
+"""Distributed executor throughput: 1 vs 2 workers on a CPU-bound grid.
+
+Runs a uniform grid of flit ping-pong cells (identical work per cell,
+distinct seeds so nothing dedupes or caches) through the distributed
+coordinator at 1 and 2 workers on the ``local`` (stdio subprocess)
+transport, and reports cells/sec.  Because every cell is pure Python
+simulation, two workers on two cores should approach 2x — the asserted
+floor is >= 1.7x, the distribution overhead budget of the shard/lease
+protocol.  A JSON artifact goes to
+``benchmarks/results/BENCH_dist_executor.json``::
+
+    python benchmarks/bench_dist_executor.py            # full grid (8 cells)
+    python benchmarks/bench_dist_executor.py --smoke    # CI grid (6 cells)
+
+On a single-core machine the speedup bar is skipped (reported as
+``assert_skipped`` in the JSON) — the executor cannot beat physics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+if __package__ in (None, ""):  # `python benchmarks/bench_dist_executor.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.campaign import (
+    CampaignPlan,
+    DistOptions,
+    RunSpec,
+    ensure_builtin_scenarios,
+    run_distributed,
+)
+
+WORKER_COUNTS = (1, 2)
+SPEEDUP_FLOOR = 1.7
+
+
+def _bench_plan(cells: int) -> CampaignPlan:
+    """A uniform CPU-bound grid: one ~1s flit cell per distinct seed."""
+    ensure_builtin_scenarios()
+    specs = tuple(
+        RunSpec.make(
+            "pingpong-placement",
+            {"placement": "inter-groups", "message_kib": 16, "noise": "light"},
+            seed=3000 + i,
+        )
+        for i in range(cells)
+    )
+    return CampaignPlan(name="bench-dist", specs=specs)
+
+
+def measure_throughput(cells: int, worker_counts=WORKER_COUNTS) -> dict:
+    """Execute the grid at each worker count; returns the JSON payload."""
+    plan = _bench_plan(cells)
+    series = []
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = run_distributed(
+            plan,
+            store=None,
+            options=DistOptions(workers=workers, transport="local"),
+        )
+        elapsed = time.perf_counter() - start
+        assert result.failed == 0, result.summary()
+        assert result.executed == len(plan), result.summary()
+        series.append(
+            {
+                "workers": workers,
+                "cells": len(plan),
+                "elapsed_s": round(elapsed, 4),
+                "cells_per_sec": round(len(plan) / elapsed, 3),
+            }
+        )
+    base = series[0]["cells_per_sec"]
+    for entry in series:
+        entry["speedup_vs_1_worker"] = round(entry["cells_per_sec"] / base, 3)
+    multi = max(series, key=lambda entry: entry["workers"])
+    can_assert = (os.cpu_count() or 1) >= 2 and multi["workers"] >= 2
+    return {
+        "benchmark": "dist_executor",
+        "transport": "local",
+        "grid_cells": len(plan),
+        "cpu_count": os.cpu_count(),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "assert_skipped": not can_assert,
+        "series": series,
+    }
+
+
+def check_speedup(payload: dict) -> None:
+    """Assert the 2-worker bar unless the machine cannot express it."""
+    if payload["assert_skipped"]:
+        return
+    multi = max(payload["series"], key=lambda entry: entry["workers"])
+    speedup = multi["speedup_vs_1_worker"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"distributed executor regressed: {multi['workers']} workers reach "
+        f"only {speedup}x over 1 worker (floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_dist_executor.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        f"distributed executor throughput ({payload['grid_cells']}-cell grid, "
+        f"{payload['transport']} transport)"
+    ]
+    for entry in payload["series"]:
+        lines.append(
+            f"  {entry['workers']} worker(s): {entry['cells_per_sec']:.2f} cells/s "
+            f"({entry['elapsed_s']:.2f} s, {entry['speedup_vs_1_worker']:.2f}x "
+            "vs 1 worker)"
+        )
+    if payload["assert_skipped"]:
+        lines.append("  (single-core machine: speedup bar not asserted)")
+    return "\n".join(lines)
+
+
+def test_dist_executor_throughput(benchmark, results_dir):
+    """Throughput at 1/2 workers; BENCH JSON emitted, >=1.7x bar asserted."""
+    payload = benchmark.pedantic(measure_throughput, args=(6,), rounds=1, iterations=1)
+    _write_json(payload, results_dir)
+    emit(results_dir, "dist_executor", _render(payload))
+    check_speedup(payload)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = measure_throughput(cells=6 if smoke else 8)
+    path = _write_json(payload, RESULTS_DIR)
+    print(_render(payload))
+    print(f"wrote {path}")
+    check_speedup(payload)

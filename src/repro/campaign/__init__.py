@@ -8,7 +8,11 @@ grids into content-hashed :class:`~repro.campaign.plan.RunSpec`s
 ``multiprocessing`` with per-run seeds derived from :mod:`repro.sim.rng`
 (:mod:`repro.campaign.executor`); and a result cache + artifact store skips
 runs whose spec hash already has a stored result
-(:mod:`repro.campaign.store`).
+(:mod:`repro.campaign.store`).  Campaigns too big for one host run on the
+distributed coordinator/worker layer (:mod:`repro.campaign.dist`): balanced
+shards leased to workers over a length-prefixed JSON socket/stdio
+transport, results merged into the store as they stream in, dead workers
+re-leased, killed campaigns resumable from the store.
 """
 
 from repro.campaign.plan import (
@@ -31,6 +35,7 @@ from repro.campaign.router import (
     BackendRouter,
     BudgetError,
     CellCost,
+    CostHistory,
     estimate_cell,
     profile_for,
     select_audit_pairs,
@@ -42,8 +47,17 @@ from repro.campaign.executor import (
     execute_plan,
     execute_spec,
     metric_deltas,
+    run_audits,
+    run_cell,
 )
 from repro.campaign.store import ArtifactStore
+from repro.campaign.dist import (
+    Coordinator,
+    DistOptions,
+    Shard,
+    ShardPlanner,
+    run_distributed,
+)
 
 __all__ = [
     "AUTO_BACKEND",
@@ -54,9 +68,14 @@ __all__ = [
     "CampaignPlan",
     "CampaignResult",
     "CellCost",
+    "Coordinator",
+    "CostHistory",
+    "DistOptions",
     "RunRecord",
     "RunSpec",
     "Scenario",
+    "Shard",
+    "ShardPlanner",
     "ensure_builtin_scenarios",
     "estimate_cell",
     "execute_plan",
@@ -68,6 +87,9 @@ __all__ = [
     "profile_for",
     "register",
     "register_figure",
+    "run_audits",
+    "run_cell",
+    "run_distributed",
     "scale_for",
     "scenario",
     "scenario_names",

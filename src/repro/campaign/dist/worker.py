@@ -1,0 +1,166 @@
+"""The distributed worker: lease shards, execute cells, stream results.
+
+A worker is a plain process (same host or another one) running
+:func:`serve_channel` over any :class:`~repro.campaign.dist.protocol.
+Channel`.  It owns no store and no plan — it announces itself, receives
+shard leases, executes each cell with the executor's single-cell runner
+(:func:`repro.campaign.executor.run_cell`) and streams every record back
+the moment it finishes, so the coordinator can merge results (and survive
+this worker's death) without waiting for shard boundaries.
+
+Liveness is a background heartbeat: while a shard is leased, a daemon
+thread pings the coordinator every ``heartbeat_s`` so a long-running cell
+is distinguishable from a dead worker.  Scenario code that prints to
+stdout would corrupt a stdio transport — :func:`serve_stdio` therefore
+steals fd 1 for the channel and points ``stdout`` at stderr first.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+from typing import Optional
+
+from repro.campaign.dist.protocol import Channel, ProtocolError
+from repro.campaign.plan import RunSpec
+
+#: Default liveness ping interval (seconds).  Must be well under the
+#: coordinator's lease timeout; see DistOptions.lease_timeout_s.
+DEFAULT_HEARTBEAT_S = 2.0
+
+
+def default_worker_name() -> str:
+    """host-pid identity used in hello frames and coordinator logs."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _Heartbeat:
+    """Background pinger active while a shard is leased."""
+
+    def __init__(self, channel: Channel, interval_s: float) -> None:
+        self._channel = channel
+        self._interval_s = interval_s
+        self._shard_id: Optional[int] = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def watch(self, shard_id: Optional[int]) -> None:
+        with self._lock:
+            self._shard_id = shard_id
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            with self._lock:
+                shard_id = self._shard_id
+            if shard_id is None:
+                continue
+            try:
+                self._channel.send({"type": "heartbeat", "shard": shard_id})
+            except (OSError, ValueError):
+                return  # coordinator is gone; the main loop will notice too
+
+
+def serve_channel(
+    channel: Channel,
+    name: Optional[str] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    log=None,
+) -> int:
+    """Serve shard leases over an established channel until shutdown.
+
+    Returns the number of cells executed.  Failures inside a cell become
+    error records in the result stream (exactly like the pool executor);
+    only a broken channel or a protocol violation raises.
+    """
+    from repro.campaign import ensure_builtin_scenarios
+    from repro.campaign.executor import run_cell
+
+    ensure_builtin_scenarios()
+    name = name or default_worker_name()
+    log = log or (lambda text: None)
+    channel.send(
+        {"type": "hello", "worker": name, "pid": os.getpid(), "host": socket.gethostname()}
+    )
+    heartbeat = _Heartbeat(channel, heartbeat_s)
+    executed = 0
+    try:
+        while True:
+            message = channel.recv()
+            if message is None or message["type"] == "shutdown":
+                break
+            if message["type"] != "lease":
+                raise ProtocolError(
+                    f"worker expected a lease or shutdown, got {message['type']!r}"
+                )
+            shard_id = int(message["shard"])
+            specs = [RunSpec.from_wire(form) for form in message["specs"]]
+            log(f"[{name}] leased shard {shard_id} ({len(specs)} cell(s))")
+            heartbeat.watch(shard_id)
+            for spec in specs:
+                record = run_cell(spec)
+                executed += 1
+                result = {
+                    "type": "result",
+                    "shard": shard_id,
+                    "spec": spec.to_wire(),
+                    "elapsed_s": record.elapsed_s,
+                    "error": record.error,
+                }
+                if record.payload is not None:
+                    result["payload"] = record.payload
+                    result["report"] = record.report
+                channel.send(result)
+            heartbeat.watch(None)
+            channel.send({"type": "shard_done", "shard": shard_id})
+    finally:
+        heartbeat.stop()
+        channel.close()
+    log(f"[{name}] done ({executed} cell(s) executed)")
+    return executed
+
+
+def serve_socket(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    log=None,
+) -> int:
+    """Connect to a coordinator's TCP endpoint and serve until shutdown."""
+    sock = socket.create_connection((host, port))
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not fatal; some stacks refuse the option
+    channel = Channel.over_socket(sock, name=f"coordinator@{host}:{port}")
+    try:
+        return serve_channel(channel, name=name, heartbeat_s=heartbeat_s, log=log)
+    finally:
+        sock.close()
+
+
+def serve_stdio(
+    name: Optional[str] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    log=None,
+) -> int:
+    """Serve over this process's stdin/stdout (the ``local`` transport).
+
+    The original stdout fd is duplicated for the channel and fd 1 is then
+    redirected to stderr, so stray ``print``s from scenario code land in
+    the worker's log instead of corrupting the frame stream.
+    """
+    wire_in = os.fdopen(os.dup(sys.stdin.fileno()), "rb", buffering=0)
+    wire_out = os.fdopen(os.dup(sys.stdout.fileno()), "wb", buffering=0)
+    sys.stdout.flush()
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    sys.stdout = sys.stderr
+    channel = Channel(wire_in, wire_out, name="coordinator@stdio")
+    return serve_channel(channel, name=name, heartbeat_s=heartbeat_s, log=log)

@@ -242,21 +242,21 @@ def execute_plan(
 
     if misses and workers == 1:
         for index, spec in misses:
-            finish(index, _run_one(spec))
+            finish(index, run_cell(spec))
     elif misses:
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(misses))) as pool:
-            outcomes = pool.imap(_run_one, [spec for _, spec in misses], chunksize=1)
+            outcomes = pool.imap(run_cell, [spec for _, spec in misses], chunksize=1)
             for (index, _spec), record in zip(misses, outcomes):
                 finish(index, record)
 
     result.records = [r for r in records if r is not None]
     if audit_fraction > 0.0:
-        _run_audits(plan, result, store, audit_fraction, force=force)
+        run_audits(plan, result, store, audit_fraction, force=force)
     return result
 
 
-def _run_audits(
+def run_audits(
     plan: CampaignPlan,
     result: CampaignResult,
     store: Optional[ArtifactStore],
@@ -333,8 +333,15 @@ def _run_audit_twin(flow_spec: RunSpec, twin: RunSpec) -> RunRecord:
     )
 
 
-def _run_one(spec: RunSpec) -> RunRecord:
-    """Execute one spec, capturing failures as a record (pool-safe)."""
+def run_cell(spec: RunSpec) -> RunRecord:
+    """Execute one cell, capturing failures as a record.
+
+    The reusable single-cell runner: everything that executes specs — the
+    serial loop, the ``multiprocessing`` pool and the distributed workers
+    (:mod:`repro.campaign.dist.worker`) — goes through here, so a cell's
+    outcome is identical no matter which execution substrate ran it.  Must
+    stay importable at module level (pool pickling under ``spawn``).
+    """
     try:
         payload, report, elapsed = execute_spec(spec)
     except ScenarioError as exc:

@@ -168,6 +168,53 @@ class RunSpec:
         text = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
+    def to_wire(self) -> Dict[str, object]:
+        """Transport form for the distributed executor's JSON frames.
+
+        Unlike :meth:`canonical` (which exists to be hashed and therefore
+        omits/normalizes fields), the wire form round-trips the spec
+        exactly: ``from_wire(to_wire(spec)) == spec``, so a worker on
+        another host executes and hashes the identical spec the
+        coordinator planned.
+        """
+        form: Dict[str, object] = {
+            "scenario": self.scenario,
+            "params": self.params_dict,
+            "scale": self.scale,
+            "seed": self.seed,
+            "backend": self.backend,
+        }
+        if self.routed_from is not None:
+            form["routed_from"] = self.routed_from
+        return form
+
+    @staticmethod
+    def from_wire(form: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from its wire form (validating the params).
+
+        Deliberately *not* :meth:`make`: the flow-only pin and any routing
+        already happened on the coordinator, and re-applying policy here
+        could change the spec (and its hash) between hosts.
+        """
+        params = form.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise TypeError(f"wire spec params must be a mapping, got {params!r}")
+        items = sorted(params.items())
+        for key, value in items:
+            if not isinstance(value, SCALAR_TYPES):
+                raise TypeError(
+                    f"wire spec parameter {key}={value!r} is not a JSON scalar"
+                )
+        routed_from = form.get("routed_from")
+        return RunSpec(
+            scenario=str(form["scenario"]),
+            params=tuple(items),
+            scale=str(form["scale"]),
+            seed=int(form["seed"]),  # type: ignore[arg-type]
+            backend=str(form["backend"]),
+            routed_from=str(routed_from) if routed_from is not None else None,
+        )
+
     def run_seed(self) -> int:
         """Master seed for this run, derived from the campaign seed + spec.
 

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.plan import (
     AUTO_BACKEND,
@@ -40,9 +41,19 @@ from repro.model.base import BackendError, available_cost_models, cost_model_for
 from repro.model.cost import CostEstimate, WorkloadProfile
 from repro.sim.rng import derive_seed
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.store import ArtifactStore
+
 #: Backends ordered most-faithful first; ``auto`` resolution prefers the
 #: leftmost backend whose cost model is registered.
 FIDELITY_ORDER: Tuple[str, ...] = ("flit", "flow")
+
+#: Work units one second of recorded wall-clock converts to when a cell's
+#: cost is seeded from store history.  Chosen so one second is the same
+#: order of magnitude as the static proxies assign a one-second smoke cell
+#: (~1e4 units), which keeps ``--budget`` values meaningful whether a plan
+#: is costed from proxies, from history, or from a mix of both.
+HISTORY_UNITS_PER_SECOND = 10_000.0
 
 #: ``routed_from`` marker of flit audit twins.  An audit twin is *not* a
 #: plain flit run — it executes in the audited flow cell's RNG universe —
@@ -140,6 +151,60 @@ def profile_for(spec: RunSpec) -> WorkloadProfile:
     )
 
 
+@dataclass(frozen=True)
+class CostHistory:
+    """Recorded wall-clock history of prior runs, for empirical cost seeding.
+
+    The static cost models are planning proxies; once the store holds real
+    ``elapsed_s`` measurements for a scenario on a backend at a scale, those
+    measurements *are* the cost — wall-clock seconds are directly comparable
+    across backends, which is exactly the property the proxies approximate.
+    A (scenario, scale, backend) group needs at least ``min_runs`` recorded
+    runs before it overrides the proxy: below that, one unlucky cell (cold
+    caches, a loaded machine) would swing the routing.
+    """
+
+    #: (scenario, scale, backend) -> recorded elapsed_s samples.
+    samples: Mapping[Tuple[str, str, str], Tuple[float, ...]] = field(
+        default_factory=dict
+    )
+    #: Minimum recorded runs before history overrides the static proxy.
+    min_runs: int = 3
+
+    @staticmethod
+    def from_store(
+        store: Optional["ArtifactStore"], min_runs: int = 3
+    ) -> "CostHistory":
+        """Collect elapsed_s samples from a store's index (``None``-safe)."""
+        grouped: Dict[Tuple[str, str, str], List[float]] = {}
+        if store is not None:
+            for entry in store.index().values():
+                elapsed = entry.get("elapsed_s")
+                if not isinstance(elapsed, (int, float)) or elapsed < 0:
+                    continue
+                key = (
+                    str(entry.get("scenario", "")),
+                    str(entry.get("scale", "")),
+                    str(entry.get("backend", "")),
+                )
+                grouped.setdefault(key, []).append(float(elapsed))
+        return CostHistory(
+            samples={key: tuple(values) for key, values in grouped.items()},
+            min_runs=min_runs,
+        )
+
+    def work_for(self, scenario: str, scale: str, backend: str) -> Optional[float]:
+        """Empirical work estimate, or ``None`` below the evidence bar."""
+        values = self.samples.get((scenario, scale, backend), ())
+        if len(values) < self.min_runs:
+            return None
+        return statistics.median(values) * HISTORY_UNITS_PER_SECOND
+
+    def runs_for(self, scenario: str, scale: str, backend: str) -> int:
+        """How many recorded runs back the (scenario, scale, backend) group."""
+        return len(self.samples.get((scenario, scale, backend), ()))
+
+
 def _auto_candidates() -> Tuple[str, ...]:
     """Backends an ``auto`` cell may resolve to, most-faithful first."""
     modelled = set(available_cost_models())
@@ -153,7 +218,9 @@ def _auto_candidates() -> Tuple[str, ...]:
 
 
 def estimate_cell(
-    spec: RunSpec, backends: Optional[Sequence[str]] = None
+    spec: RunSpec,
+    backends: Optional[Sequence[str]] = None,
+    history: Optional[CostHistory] = None,
 ) -> Dict[str, CostEstimate]:
     """Cost one cell under the given (or its applicable) backends.
 
@@ -161,6 +228,11 @@ def estimate_cell(
     every auto candidate.  Backends without a cost model are annotated
     with zero work (they cannot be auto-routed to, but an explicitly
     pinned cell on such a backend must still plan).
+
+    With a :class:`CostHistory`, a backend whose (scenario, scale) group
+    has enough recorded runs gets its estimate seeded from the measured
+    wall-clock median instead of the static proxy; the estimate's detail
+    then carries ``history_runs`` and ``history_median_s``.
     """
     profile = profile_for(spec)
     if backends is None:
@@ -175,6 +247,17 @@ def estimate_cell(
             )
         else:
             estimates[name] = model.estimate_cost(profile)
+        if history is None:
+            continue
+        empirical = history.work_for(spec.scenario, spec.scale, name)
+        if empirical is None:
+            continue
+        detail = dict(estimates[name].detail)
+        # Measured runs make the backend "modelled" even without a proxy.
+        detail.pop("unmodelled", None)
+        detail["history_runs"] = float(history.runs_for(spec.scenario, spec.scale, name))
+        detail["history_median_s"] = empirical / HISTORY_UNITS_PER_SECOND
+        estimates[name] = CostEstimate(backend=name, work=empirical, detail=detail)
     return estimates
 
 
@@ -194,6 +277,11 @@ class BackendRouter:
     prefer: str = "flit"
     budget: Optional[float] = None
     cell_cap: Optional[float] = None
+    #: Recorded-run history seeding the estimates (PR-4 follow-on): cells
+    #: whose (scenario, scale, backend) group has ``history.min_runs``
+    #: prior runs in the store are costed from measured wall-clock medians
+    #: instead of the static proxies.
+    history: Optional[CostHistory] = None
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget <= 0:
@@ -213,7 +301,7 @@ class BackendRouter:
         reasons: List[str] = []
         estimates: List[Dict[str, CostEstimate]] = []
         for spec in specs:
-            cell_estimates = estimate_cell(spec)
+            cell_estimates = estimate_cell(spec, history=self.history)
             estimates.append(cell_estimates)
             if not spec.is_auto:
                 # A budget over a cell we cannot cost would be a silent lie:

@@ -11,8 +11,20 @@ Layout under the store root::
 Result JSON is written with sorted keys and a fixed indent, so the same
 :class:`~repro.campaign.plan.RunSpec` always produces byte-identical
 artifacts — the determinism tests rely on this, and it makes the store
-safely shareable/diffable across machines.  Only the executor's parent
-process writes the store, so no cross-process locking is needed.
+safely shareable/diffable across machines.
+
+Concurrent writers and the journal
+----------------------------------
+
+Index writes are atomic (write a temp file, ``os.replace`` it) and merge
+with the on-disk state first, so two processes saving disjoint runs into a
+shared store can't truncate or clobber each other's entries.  The
+distributed coordinator additionally saves with ``defer_index=True``:
+result files land immediately but the index update is an O(1) append to
+``journal.jsonl`` instead of a full index rewrite per streamed result.
+Opening a store replays any pending journal (a crashed coordinator loses
+nothing that reached disk), and :meth:`ArtifactStore.flush_journal` folds
+the journal into ``index.json`` and removes it.
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ import csv
 import json
 import os
 import pathlib
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.campaign.plan import RunSpec
 
@@ -57,10 +69,17 @@ class ArtifactStore:
         self.audits_dir = self.root / "audits"
         self.index_path = self.root / "index.json"
         self.audits_index_path = self.root / "audits.json"
+        self.journal_path = self.root / "journal.jsonl"
         # Directories are created lazily on first save() so that read-only
         # commands (status, dry-run) don't create stores as a side effect.
         self._index: Dict[str, Dict] = self._load_json(self.index_path)
         self._audits: Dict[str, Dict] = self._load_json(self.audits_index_path)
+        #: Whether this store object journaled entries not yet flushed.
+        self._journal_dirty = False
+        # Crash recovery: deferred-index saves whose coordinator never
+        # flushed are replayed (in memory — the next flush persists them).
+        for spec_hash, entry in self._read_journal():
+            self._index[spec_hash] = entry
 
     # -- index ---------------------------------------------------------------
 
@@ -117,8 +136,15 @@ class ArtifactStore:
         payload: Mapping,
         report: str = "",
         elapsed: Optional[float] = None,
+        defer_index: bool = False,
     ) -> pathlib.Path:
-        """Persist one run's payload (and report text) and update the index."""
+        """Persist one run's payload (and report text) and update the index.
+
+        ``defer_index=True`` (streaming writers, e.g. the distributed
+        coordinator) appends the index entry to the journal instead of
+        rewriting ``index.json`` — an O(1) disk operation per result; call
+        :meth:`flush_journal` when the stream ends.
+        """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.reports_dir.mkdir(parents=True, exist_ok=True)
         path = self.result_path(spec)
@@ -142,8 +168,59 @@ class ArtifactStore:
         if isinstance(payload, Mapping) and isinstance(payload.get("metrics"), Mapping):
             entry["metrics"] = dict(payload["metrics"])
         self._index[spec.spec_hash()] = entry
-        self._write_index()
+        if defer_index:
+            self._append_journal(spec.spec_hash(), entry)
+        else:
+            self._write_index()
         return path
+
+    # -- journal ----------------------------------------------------------------
+
+    def _append_journal(self, spec_hash: str, entry: Mapping) -> None:
+        line = json.dumps(
+            {"hash": spec_hash, "entry": entry}, sort_keys=True, separators=(",", ":")
+        )
+        # One write syscall per line; concurrent appenders interleave whole
+        # lines on POSIX O_APPEND semantics.
+        with self.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self._journal_dirty = True
+
+    def _read_journal(self):
+        if not self.journal_path.exists():
+            return
+        for line in self.journal_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                item = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn final line from a crashed writer
+            if isinstance(item, dict) and "hash" in item and "entry" in item:
+                yield str(item["hash"]), dict(item["entry"])
+
+    def flush_journal(self) -> None:
+        """Fold pending journal entries into ``index.json`` and drop the journal.
+
+        Re-reads the journal from disk first, so entries appended by *other*
+        writers sharing the store are folded in too, not silently dropped.
+        The index is also rewritten when *this* store journaled entries but
+        the journal file is gone — a concurrent writer's flush unlinked it —
+        since those entries may exist only in our in-memory index.  A store
+        that never journaled anything is left untouched (no directories are
+        created for stores that never saw a deferred save).
+        """
+        if not self.journal_path.exists() and not self._journal_dirty:
+            return
+        for spec_hash, entry in self._read_journal():
+            self._index.setdefault(spec_hash, entry)
+        self._write_index()
+        self._journal_dirty = False
+        try:
+            self.journal_path.unlink()
+        except FileNotFoundError:
+            pass
 
     # -- audits -----------------------------------------------------------------
 
@@ -222,9 +299,13 @@ class ArtifactStore:
 
     # -- reporting --------------------------------------------------------------
 
-    def status_rows(self) -> List[Dict[str, object]]:
-        """One row per stored run, for status tables and the CSV export."""
-        rows: List[Dict[str, object]] = []
+    def iter_status_rows(self) -> Iterator[Dict[str, object]]:
+        """Yield one row per stored run, lazily, in stable hash order.
+
+        The streaming form of :meth:`status_rows`: consumers that write
+        rows out as they go (the CSV export) never hold more than one row,
+        which is what keeps larger-than-memory campaign exports flat.
+        """
         for spec_hash in sorted(self._index):
             entry = self._index[spec_hash]
             row: Dict[str, object] = {
@@ -239,27 +320,43 @@ class ArtifactStore:
             }
             for name, value in sorted((entry.get("metrics") or {}).items()):
                 row[f"metric.{name}"] = value
-            rows.append(row)
-        return rows
+            yield row
 
-    def export_csv(self, path) -> pathlib.Path:
-        """Write all stored runs (one row each, metrics flattened) as CSV."""
-        path = pathlib.Path(path)
-        rows = self.status_rows()
-        # Seed with the base columns so an empty store still gets a header.
+    def status_rows(self) -> List[Dict[str, object]]:
+        """One row per stored run, for status tables (materialized)."""
+        return list(self.iter_status_rows())
+
+    def csv_columns(self) -> List[str]:
+        """The CSV header: base columns plus every metric column in use.
+
+        Computed from the index metadata alone (metric *names*, not rows),
+        so the export can stream without a first pass over full rows.
+        """
         columns: List[str] = [
             "hash", "scenario", "scale", "seed", "params", "backend",
             "routed_from", "elapsed_s",
         ]
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+        metric_names = set()
+        for entry in self._index.values():
+            metric_names.update((entry.get("metrics") or {}).keys())
+        columns.extend(f"metric.{name}" for name in sorted(metric_names))
+        return columns
+
+    def export_csv(self, path) -> pathlib.Path:
+        """Write all stored runs (one row each, metrics flattened) as CSV.
+
+        Rows stream straight from the index to the file one at a time —
+        the export never materializes the result set, so store size is
+        bounded by disk, not by this process's memory.
+        """
+        path = pathlib.Path(path)
+        columns = self.csv_columns()
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns, restval="")
             writer.writeheader()
-            writer.writerows(rows)
+            for row in self.iter_status_rows():
+                writer.writerow(row)
         return path
 
     def summary(self) -> Dict[str, int]:

@@ -16,6 +16,12 @@ Campaign usage (the ``repro`` console script maps here too)::
 ``campaign run`` plans a sweep over the requested scenarios' parameter
 grids, skips every run whose spec hash is already in the artifact store and
 fans the rest out over worker processes.
+
+Distributed usage (sharded workers, resumable)::
+
+    repro campaign run noise-sweep-large --workers 4 --transport local
+    repro campaign run all --workers 2 --transport socket --bind 0.0.0.0:7077
+    repro campaign worker --connect coordinator-host:7077   # on other hosts
 """
 
 from __future__ import annotations
@@ -186,6 +192,31 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="campaign master seed")
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument(
+        "--transport",
+        choices=("pool", "local", "socket"),
+        default="pool",
+        help="execution substrate: in-process 'pool' (multiprocessing, the "
+        "default), distributed 'local' (worker subprocesses over stdio "
+        "pipes) or 'socket' (TCP; spawns --workers local workers and also "
+        "accepts external 'repro campaign worker --connect' processes on "
+        "--bind)",
+    )
+    run.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="socket transport: coordinator listen address (port 0 picks an "
+        "ephemeral port; printed at startup for external workers)",
+    )
+    run.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="distributed transports: revoke a worker's shard lease after "
+        "this many seconds of silence and re-lease it (default: 30)",
+    )
+    run.add_argument(
         "--store",
         type=pathlib.Path,
         default=DEFAULT_STORE,
@@ -217,6 +248,43 @@ def build_campaign_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.add_argument("--tag", default=None, help="only scenarios with this tag")
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a distributed campaign coordinator (shard-leasing loop)",
+    )
+    mode = worker.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="connect to a coordinator's socket transport (possibly on "
+        "another host) and execute leased shards until shutdown",
+    )
+    mode.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve over stdin/stdout (used by the coordinator's 'local' "
+        "transport; stray stdout output is redirected to stderr)",
+    )
+    worker.add_argument("--name", default=None, help="worker name (default: host:pid)")
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="liveness ping interval while executing (default: 2)",
+    )
+    worker.add_argument(
+        "--preload",
+        default=None,
+        metavar="MODULE",
+        help="import this module before serving, so scenarios registered "
+        "outside repro.campaign.scenarios are executable in this worker",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-shard log lines"
+    )
 
     status = sub.add_parser("status", help="summarize an artifact store")
     status.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
@@ -287,6 +355,62 @@ def _resolve_scenarios(requested: Sequence[str]) -> List[str]:
     return names
 
 
+def _parse_bind(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` bind address (port may be 0 for ephemeral)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT — got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bind port {port_text!r} is not an integer") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bind port {port} outside [0, 65535]")
+    return host, port
+
+
+def _worker_main(args, parser) -> int:
+    """The ``repro campaign worker`` loop (runs until coordinator shutdown)."""
+    from repro.campaign.dist import serve_socket, serve_stdio
+
+    if args.heartbeat <= 0:
+        parser.error("--heartbeat must be positive")
+    if args.preload:
+        import importlib
+
+        try:
+            importlib.import_module(args.preload)
+        except ImportError as exc:
+            parser.error(f"cannot import --preload module {args.preload!r}: {exc}")
+    log = (lambda text: None) if args.quiet else (lambda text: print(text, file=sys.stderr))
+    host = port = None
+    if not args.stdio:
+        try:
+            host, port = _parse_bind(args.connect)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if port == 0:
+            parser.error("--connect needs the coordinator's concrete port")
+    from repro.campaign.dist import ProtocolError
+
+    try:
+        if args.stdio:
+            executed = serve_stdio(
+                name=args.name, heartbeat_s=args.heartbeat, log=log
+            )
+        else:
+            executed = serve_socket(
+                host, port, name=args.name, heartbeat_s=args.heartbeat, log=log
+            )
+    except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
+        # A coordinator killed mid-frame (ProtocolError) or a dead peer on
+        # send (ValueError from a closed stream) is the same event as a
+        # refused connection: the coordinator is gone.
+        print(f"worker: coordinator connection lost: {exc}", file=sys.stderr)
+        return 3
+    return 0 if executed >= 0 else 1
+
+
 def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``campaign`` subcommands."""
     parser = build_campaign_parser()
@@ -296,6 +420,8 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         ArtifactStore,
         BackendRouter,
         BudgetError,
+        CostHistory,
+        DistOptions,
         ensure_builtin_scenarios,
         execute_plan,
         plan_campaign,
@@ -305,6 +431,9 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.campaign.registry import ScenarioError, all_scenarios
 
     ensure_builtin_scenarios()
+
+    if args.command == "worker":
+        return _worker_main(args, parser)
 
     if args.command == "list":
         from repro.analysis.reporting import Table
@@ -364,8 +493,10 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     # -- run -----------------------------------------------------------------
-    if args.workers < 1:
-        parser.error("--workers must be >= 1")
+    if args.workers < 1 and not (args.transport == "socket" and args.workers == 0):
+        # --workers 0 is meaningful only on the socket transport: listen and
+        # wait for external `repro campaign worker --connect` processes.
+        parser.error("--workers must be >= 1 (0 allowed with --transport socket)")
     if args.no_store and args.csv is not None:
         parser.error("--csv exports the artifact store and cannot combine with --no-store")
     if args.dry_run and args.csv is not None:
@@ -379,10 +510,14 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     audit_fraction = args.audit_fraction
     if audit_fraction is None:
         audit_fraction = 0.1 if args.backend == "auto" else 0.0
+    store = None if args.no_store else ArtifactStore(args.store)
     # Audits alone need no router — they sample the plan at execute time.
     router = None
     if args.backend == "auto" or args.budget is not None:
-        router = BackendRouter(budget=args.budget)
+        # Seed the cost estimates from recorded wall-clock history: any
+        # (scenario, scale, backend) group with >= 3 stored runs is costed
+        # from its measured median instead of the static proxy.
+        router = BackendRouter(budget=args.budget, history=CostHistory.from_store(store))
     try:
         names = _resolve_scenarios(args.scenarios)
         overrides: Dict[str, List[object]] = {}
@@ -409,7 +544,6 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     except (ScenarioError, ValueError) as exc:
         parser.error(str(exc))
 
-    store = None if args.no_store else ArtifactStore(args.store)
     if args.dry_run:
         print(plan.describe())
         audit_pairs = select_audit_pairs(plan, audit_fraction)
@@ -445,14 +579,42 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         if args.reports and record.ok and record.report:
             print(record.report)
 
-    result = execute_plan(
-        plan,
-        store=store,
-        workers=args.workers,
-        progress=progress,
-        force=args.force,
-        audit_fraction=audit_fraction,
-    )
+    if args.transport == "pool":
+        result = execute_plan(
+            plan,
+            store=store,
+            workers=args.workers,
+            progress=progress,
+            force=args.force,
+            audit_fraction=audit_fraction,
+        )
+    else:
+        try:
+            host, port = _parse_bind(args.bind)
+            options = DistOptions(
+                workers=args.workers,
+                transport=args.transport,
+                bind_host=host,
+                bind_port=port,
+                lease_timeout_s=args.lease_timeout,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        from repro.campaign import Coordinator, run_audits
+
+        coordinator = Coordinator(
+            plan, store=store, options=options, progress=progress, force=args.force
+        )
+        if coordinator.address is not None:
+            bound_host, bound_port = coordinator.address
+            print(
+                f"coordinator listening on {bound_host}:{bound_port} — attach "
+                f"more workers with: repro campaign worker "
+                f"--connect {bound_host}:{bound_port}"
+            )
+        result = coordinator.run()
+        if audit_fraction > 0.0:
+            run_audits(plan, result, store, audit_fraction, force=args.force)
     for audit in result.audits:
         if not audit.ok:
             print(

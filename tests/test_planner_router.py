@@ -654,3 +654,122 @@ class TestCliAuto:
         assert campaign_main(["status", "--store", str(tmp_path / "store")]) == 0
         out = capsys.readouterr().out
         assert "flow-vs-flit delta(s)" in out
+
+
+# -- history-seeded cost estimates --------------------------------------------------
+
+class TestCostHistory:
+    """Recorded elapsed_s history overriding the static proxies (PR-4 follow-on)."""
+
+    def _store_with_history(self, tmp_path, runs, backend="flit", elapsed=2.0):
+        from repro.campaign import CostHistory
+
+        store = ArtifactStore(tmp_path / "history-store")
+        for i in range(runs):
+            spec = RunSpec.make(
+                "_router-toy", {"load": "tiny"}, seed=1000 + i, backend=backend
+            )
+            store.save(spec, {"metrics": {"total": 1.0}}, elapsed=elapsed + 0.1 * i)
+        return store, CostHistory.from_store(store)
+
+    def test_three_runs_override_the_static_proxy(self, tmp_path):
+        from repro.campaign.router import HISTORY_UNITS_PER_SECOND
+
+        _, history = self._store_with_history(tmp_path, runs=3, elapsed=2.0)
+        spec = RunSpec.make("_router-toy", {"load": "tiny"}, backend="flit")
+        estimates = estimate_cell(spec, history=history)
+        estimate = estimates["flit"]
+        assert estimate.detail["history_runs"] == 3.0
+        # Median of 2.0, 2.1, 2.2 seconds.
+        assert estimate.work == pytest.approx(2.1 * HISTORY_UNITS_PER_SECOND)
+        assert estimate.detail["history_median_s"] == pytest.approx(2.1)
+
+    def test_two_runs_fall_back_to_the_proxy(self, tmp_path):
+        _, history = self._store_with_history(tmp_path, runs=2)
+        spec = RunSpec.make("_router-toy", {"load": "tiny"}, backend="flit")
+        with_history = estimate_cell(spec, history=history)["flit"]
+        without = estimate_cell(spec)["flit"]
+        assert with_history.work == without.work
+        assert "history_runs" not in with_history.detail
+
+    def test_history_only_applies_to_matching_scale_and_backend(self, tmp_path):
+        _, history = self._store_with_history(tmp_path, runs=3, backend="flit")
+        flow_spec = RunSpec.make("_router-toy", {"load": "tiny"}, backend="flow")
+        paper_spec = RunSpec.make(
+            "_router-toy", {"load": "tiny"}, scale="paper", backend="flit"
+        )
+        assert "history_runs" not in estimate_cell(flow_spec, history=history)["flow"].detail
+        assert "history_runs" not in estimate_cell(paper_spec, history=history)["flit"].detail
+
+    def test_router_consumes_history(self, tmp_path):
+        from repro.campaign import CostHistory
+        from repro.campaign.router import HISTORY_UNITS_PER_SECOND
+
+        _, history = self._store_with_history(tmp_path, runs=4, elapsed=5.0)
+        cells = BackendRouter(history=history).route(
+            [RunSpec.make("_router-toy", {"load": "tiny"}, backend="flit")]
+        )
+        assert cells[0].estimates["flit"].detail["history_runs"] == 4.0
+        assert cells[0].work == pytest.approx(5.15 * HISTORY_UNITS_PER_SECOND)
+
+    def test_history_can_flip_an_auto_routing_under_budget(self, tmp_path):
+        """Measured history re-orders demotion: the cell the proxy thought
+        cheap on flow is measured expensive there, so a budget now keeps
+        it on flit."""
+        from repro.campaign import CostHistory
+
+        store = ArtifactStore(tmp_path / "flip-store")
+        for i in range(3):
+            store.save(
+                RunSpec.make("_router-toy", {"load": "tiny"}, seed=2000 + i,
+                             backend="flit"),
+                {"metrics": {"total": 1.0}},
+                elapsed=0.001,  # measured: flit is nearly free here
+            )
+            store.save(
+                RunSpec.make("_router-toy", {"load": "tiny"}, seed=2000 + i,
+                             backend="flow"),
+                {"metrics": {"total": 1.0}},
+                elapsed=10.0,  # measured: flow is pathologically slow
+            )
+        history = CostHistory.from_store(store)
+        spec = RunSpec.make("_router-toy", {"load": "tiny"}, backend=AUTO_BACKEND)
+        # A budget between the proxies' flow and flit estimates demotes the
+        # blind cell to flow...
+        flow_proxy = estimate_cell(spec)["flow"].work
+        blind = BackendRouter(budget=flow_proxy * 1.01).route([spec])
+        assert blind[0].chosen == "flow"  # proxy says flow is the cheap escape
+        # ... while the same squeeze under measured history keeps it on flit
+        # (measured flit ~10 units fits; measured flow ~100k would not).
+        seen = BackendRouter(budget=flow_proxy * 1.01, history=history).route([spec])
+        assert seen[0].chosen == "flit"  # history knows flit is cheaper
+
+    def test_from_store_tolerates_missing_store_and_bad_entries(self, tmp_path):
+        from repro.campaign import CostHistory
+
+        assert CostHistory.from_store(None).samples == {}
+        store = ArtifactStore(tmp_path / "bad")
+        spec = RunSpec.make("_router-toy", {"load": "tiny"})
+        store.save(spec, {"metrics": {"total": 1.0}})  # no elapsed recorded
+        history = CostHistory.from_store(store)
+        assert history.work_for("_router-toy", "smoke", "flit") is None
+
+    def test_cli_auto_uses_store_history(self, tmp_path, capsys):
+        """The run CLI seeds the router from the store it executes into."""
+        store_dir = str(tmp_path / "store")
+        argv = [
+            "run", "_router-toy", "--backend", "auto", "--set", "load=tiny",
+            "--store", store_dir,
+        ]
+        # Three runs build history (forced so each one actually executes and
+        # records a fresh elapsed_s)...
+        assert campaign_main(argv) == 0
+        assert campaign_main(argv + ["--force"]) == 0
+        assert campaign_main(argv + ["--force"]) == 0
+        capsys.readouterr()
+        # ... and the fourth plans from it: the dry-run's estimate must be
+        # history-scale (sub-second smoke cell ~ tens of units), not the
+        # static proxy's tens of thousands.
+        assert campaign_main(argv + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated work" in out
