@@ -1,0 +1,219 @@
+"""Telemetry overhead: traced vs untraced flow-backend smoke campaign.
+
+Runs the same serial grid of flow ping-pong cells with telemetry disabled
+and enabled, and asserts the enabled run stays within 5% of the untraced
+baseline.  Measuring a few percent on a shared machine needs care, so the
+protocol is deliberately defensive: CPU time (``time.process_time``)
+instead of wall clock, interleaved runs whose mode order flips every pair
+(so thermal/frequency drift cannot systematically land on one mode), the
+minimum over all runs per mode (the least-disturbed sample), and up to
+three measurement attempts — ambient noise can only spuriously *inflate*
+the estimate, so retrying a failed attempt is sound while a genuine
+regression keeps failing.  The
+disabled fast path is also bounded: the instrumentation's only cost when
+off is one ``TELEMETRY.enabled`` attribute check per hot-path entry, so
+the bench microbenchmarks that guard, counts how many times an enabled run
+actually hits it, and asserts the implied disabled-mode overhead is under
+1% of the baseline.  A JSON artifact goes to
+``benchmarks/results/BENCH_telemetry_overhead.json``::
+
+    python benchmarks/bench_telemetry_overhead.py            # 8-cell grid
+    python benchmarks/bench_telemetry_overhead.py --smoke    # CI grid (4)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+if __package__ in (None, ""):  # `python benchmarks/bench_telemetry_overhead.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.campaign import CampaignPlan, RunSpec, ensure_builtin_scenarios, run_cell
+from repro.telemetry import TELEMETRY, disable, enable
+
+ENABLED_CEILING_PCT = 5.0
+DISABLED_CEILING_PCT = 1.0
+REPEATS = 8
+ATTEMPTS = 3
+GUARD_ITERS = 200_000
+
+
+def _bench_plan(cells: int) -> CampaignPlan:
+    """A serial flow-backend grid: distinct seeds, identical work per cell."""
+    ensure_builtin_scenarios()
+    specs = tuple(
+        RunSpec.make(
+            "pingpong-placement",
+            {"placement": "inter-groups", "message_kib": 16, "noise": "light"},
+            seed=4000 + i,
+            backend="flow",
+        )
+        for i in range(cells)
+    )
+    return CampaignPlan(name="bench-telemetry", specs=specs)
+
+
+def _run_grid(plan: CampaignPlan) -> float:
+    """Execute every cell serially in-process; returns CPU seconds."""
+    start = time.process_time()
+    for spec in plan.specs:
+        record = run_cell(spec)
+        assert record.ok, record.error
+    return time.process_time() - start
+
+
+def _run_mode(plan: CampaignPlan, traced: bool) -> float:
+    if traced:
+        enable()
+    else:
+        disable()
+    try:
+        return _run_grid(plan)
+    finally:
+        disable()
+
+
+def _guard_ns() -> float:
+    """Cost of the disabled-path guard (`TELEMETRY.enabled` check) per hit.
+
+    Includes the loop overhead, which overestimates the guard — the
+    conservative direction for the <1% disabled bound.
+    """
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERS):
+        if TELEMETRY.enabled:
+            raise AssertionError("telemetry must be off for the guard bench")
+    return (time.perf_counter() - start) / GUARD_ITERS * 1e9
+
+
+def _guard_checks_per_run(plan: CampaignPlan) -> int:
+    """How many hot-path entries one cell grid performs.
+
+    Every span recorded by an enabled run corresponds to one
+    ``TELEMETRY.enabled`` branch that a disabled run would take instead,
+    so the aggregate span counts of a traced run measure the disabled
+    run's guard traffic.
+    """
+    enable()
+    try:
+        record = run_cell(plan.specs[0])
+        assert record.ok and record.telemetry is not None
+        per_cell = sum(
+            agg["count"] for agg in record.telemetry["spans"].values()
+        )
+    finally:
+        disable()
+    return per_cell * len(plan.specs)
+
+
+def _measure_once(plan: CampaignPlan, repeats: int) -> dict:
+    """One attempt: interleaved order-flipping pairs, minimum per mode."""
+    disabled_runs, enabled_runs = [], []
+    for pair in range(repeats):
+        first_traced = pair % 2 == 1
+        for traced in (first_traced, not first_traced):
+            (enabled_runs if traced else disabled_runs).append(
+                _run_mode(plan, traced)
+            )
+    baseline = min(disabled_runs)
+    traced = min(enabled_runs)
+    return {
+        "disabled_s": [round(v, 4) for v in disabled_runs],
+        "enabled_s": [round(v, 4) for v in enabled_runs],
+        "baseline_s": round(baseline, 4),
+        "traced_s": round(traced, 4),
+        "enabled_overhead_pct": round((traced / baseline - 1.0) * 100.0, 3),
+    }
+
+
+def measure_overhead(
+    cells: int, repeats: int = REPEATS, attempts: int = ATTEMPTS
+) -> dict:
+    """Time the grid untraced and traced; returns the JSON payload."""
+    plan = _bench_plan(cells)
+    _run_grid(plan)  # warm caches/imports outside both measured modes
+
+    trials = []
+    for _ in range(attempts):
+        trials.append(_measure_once(plan, repeats))
+        if trials[-1]["enabled_overhead_pct"] <= ENABLED_CEILING_PCT:
+            break
+    best = min(trials, key=lambda t: t["enabled_overhead_pct"])
+
+    guard_ns = _guard_ns()
+    guard_checks = _guard_checks_per_run(plan)
+    disabled_pct = guard_checks * guard_ns / (best["baseline_s"] * 1e9) * 100.0
+
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "backend": "flow",
+        "grid_cells": len(plan),
+        "repeats": repeats,
+        "attempts": len(trials),
+        "trials": trials,
+        "enabled_ceiling_pct": ENABLED_CEILING_PCT,
+        "guard_ns_per_check": round(guard_ns, 2),
+        "guard_checks_per_run": guard_checks,
+        "disabled_overhead_pct": round(disabled_pct, 4),
+        "disabled_ceiling_pct": DISABLED_CEILING_PCT,
+    }
+    payload.update(best)  # the attempt the assertion runs against
+    return payload
+
+
+def check_overhead(payload: dict) -> None:
+    """Assert both overhead ceilings."""
+    assert payload["enabled_overhead_pct"] <= payload["enabled_ceiling_pct"], (
+        f"tracing slows the flow campaign by {payload['enabled_overhead_pct']}% "
+        f"(ceiling: {payload['enabled_ceiling_pct']}%)"
+    )
+    assert payload["disabled_overhead_pct"] < payload["disabled_ceiling_pct"], (
+        f"disabled telemetry guard costs {payload['disabled_overhead_pct']}% "
+        f"(ceiling: {payload['disabled_ceiling_pct']}%)"
+    )
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_telemetry_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    return "\n".join(
+        [
+            f"telemetry overhead ({payload['grid_cells']}-cell "
+            f"{payload['backend']} grid, min of {payload['repeats']} "
+            f"interleaved runs, {payload['attempts']} attempt(s))",
+            f"  untraced: {payload['baseline_s']:.3f} s CPU",
+            f"  traced:   {payload['traced_s']:.3f} s CPU "
+            f"({payload['enabled_overhead_pct']:+.2f}%, "
+            f"ceiling {payload['enabled_ceiling_pct']:.0f}%)",
+            f"  disabled guard: {payload['guard_ns_per_check']:.0f} ns/check x "
+            f"{payload['guard_checks_per_run']} checks = "
+            f"{payload['disabled_overhead_pct']:.4f}% "
+            f"(ceiling {payload['disabled_ceiling_pct']:.0f}%)",
+        ]
+    )
+
+
+def test_telemetry_overhead(benchmark, results_dir):
+    """Traced-vs-untraced grid; BENCH JSON emitted, 5%/1% bars asserted."""
+    payload = benchmark.pedantic(measure_overhead, args=(4,), rounds=1, iterations=1)
+    _write_json(payload, results_dir)
+    emit(results_dir, "telemetry_overhead", _render(payload))
+    check_overhead(payload)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = measure_overhead(cells=4 if smoke else 8)
+    path = _write_json(payload, RESULTS_DIR)
+    print(_render(payload))
+    print(f"wrote {path}")
+    check_overhead(payload)

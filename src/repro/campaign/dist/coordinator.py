@@ -40,6 +40,10 @@ from repro.campaign.dist.worker import DEFAULT_HEARTBEAT_S
 from repro.campaign.executor import CampaignResult, ProgressFn, RunRecord, run_audits
 from repro.campaign.plan import CampaignPlan, RunSpec
 from repro.campaign.store import ArtifactStore
+from repro.telemetry.core import TELEMETRY, TELEMETRY_ENV_VAR
+from repro.telemetry.log import get_logger, log_event
+
+import logging
 
 TRANSPORTS = ("local", "socket")
 
@@ -92,6 +96,8 @@ class _Lease:
     remaining: Set[str]
     attempts: int
     last_seen: float
+    #: Telemetry timeline of this lease (None when telemetry is disabled).
+    timeline: Optional[Dict] = None
 
 
 class _WorkerHandle:
@@ -150,6 +156,14 @@ class Coordinator:
         self._listener = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        self._log = get_logger("campaign.dist.coordinator")
+        # Session telemetry: shard lease->first-result->done timelines,
+        # heartbeat-gap distribution, revocation count, journal flush cost.
+        self._telemetry_on = TELEMETRY.enabled
+        self._timelines: List[Dict] = []
+        self._heartbeat_gaps: List[float] = []
+        self._revocations = 0
+        self._worker_frames: List[Dict] = []
         if options.transport == "socket":
             import socket as socket_mod
 
@@ -254,6 +268,10 @@ class Coordinator:
 
         env = dict(os.environ)
         env.update(self.options.extra_env or {})
+        if self._telemetry_on:
+            # Telemetry is enabled per-process at import time; spawned
+            # workers inherit the request through the environment.
+            env[TELEMETRY_ENV_VAR] = "1"
         # The worker runs `-m repro.experiments.cli`, so the child must be
         # able to import repro even when the parent got it from a path
         # pytest/pyproject injected into *this* process only (uninstalled
@@ -282,6 +300,8 @@ class Coordinator:
             env=self._worker_env(),
         )
         self._spawned.append(proc)
+        log_event(self._log, "worker.spawned", pid=proc.pid,
+                  transport=self.options.transport)
         if stdio:
             channel = Channel(proc.stdout, proc.stdin, name=f"pid-{proc.pid}")
             self._register(_WorkerHandle(channel, proc=proc))
@@ -342,6 +362,10 @@ class Coordinator:
 
     def _on_message(self, handle: _WorkerHandle, message: Dict) -> None:
         if handle.lease is not None:
+            if self._telemetry_on:
+                gap = time.monotonic() - handle.lease.last_seen
+                if len(self._heartbeat_gaps) < 4096:
+                    self._heartbeat_gaps.append(gap)
             handle.lease.last_seen = time.monotonic()
         kind = message["type"]
         if kind == "hello":
@@ -354,6 +378,11 @@ class Coordinator:
             self._merge_result(handle, message)
         elif kind == "shard_done":
             lease, handle.lease = handle.lease, None
+            if lease is not None and lease.timeline is not None:
+                lease.timeline["done_at"] = time.time()
+            frame = message.get("telemetry")
+            if isinstance(frame, dict) and len(self._worker_frames) < 256:
+                self._worker_frames.append({"worker": handle.name, **frame})
             if lease is not None and lease.remaining:
                 # The worker claims completion but cells are missing — a
                 # protocol bug or a filtered duplicate; re-queue the rest.
@@ -365,16 +394,21 @@ class Coordinator:
         spec_hash = spec.spec_hash()
         if spec_hash not in self._outstanding:
             return  # duplicate from a revoked-but-alive lease; already merged
+        telemetry = message.get("telemetry")
         record = RunRecord(
             spec=spec,
             payload=message.get("payload"),
             report=str(message.get("report", "")),
             elapsed_s=float(message.get("elapsed_s", 0.0)),
             error=str(message.get("error", "")),
+            telemetry=telemetry if isinstance(telemetry, dict) else None,
         )
         self._finish(spec_hash, record)
         if handle.lease is not None:
             handle.lease.remaining.discard(spec_hash)
+            timeline = handle.lease.timeline
+            if timeline is not None and timeline["first_result_at"] is None:
+                timeline["first_result_at"] = time.time()
 
     def _finish(self, spec_hash: str, record: RunRecord) -> None:
         self._outstanding.discard(spec_hash)
@@ -388,6 +422,7 @@ class Coordinator:
                 record.report,
                 record.elapsed_s,
                 defer_index=True,
+                telemetry=record.telemetry,
             )
         if self.progress is not None:
             self._reported += 1
@@ -400,12 +435,29 @@ class Coordinator:
             return  # stays idle; may be re-used when a lease is revoked
         shard = self._pending.pop(0)
         self._attempts[shard.shard_id] += 1
+        timeline: Optional[Dict] = None
+        if self._telemetry_on:
+            timeline = {
+                "shard": shard.shard_id,
+                "worker": handle.name,
+                "cells": len(shard.specs),
+                "attempt": self._attempts[shard.shard_id],
+                "leased_at": time.time(),
+                "first_result_at": None,
+                "done_at": None,
+                "revoked": False,
+            }
+            self._timelines.append(timeline)
         handle.lease = _Lease(
             shard=shard,
             remaining={spec.spec_hash() for spec in shard.specs},
             attempts=self._attempts[shard.shard_id],
             last_seen=time.monotonic(),
+            timeline=timeline,
         )
+        log_event(self._log, "lease.assigned", shard=shard.shard_id,
+                  worker=handle.name, cells=len(shard.specs),
+                  attempt=self._attempts[shard.shard_id])
         try:
             handle.channel.send(
                 {
@@ -444,6 +496,8 @@ class Coordinator:
             self._reaped.add(proc.pid)
             if self._respawn_budget > 0:
                 self._respawn_budget -= 1
+                log_event(self._log, "worker.respawned", level=logging.WARNING,
+                          dead_pid=proc.pid, budget_left=self._respawn_budget)
                 self._spawn_worker()
 
     def _check_leases(self) -> None:
@@ -456,6 +510,12 @@ class Coordinator:
                 # Silent worker: revoke.  Closing the channel pops the reader
                 # loop, which funnels into _on_closed for the actual re-queue
                 # (and kills the process if it was ours, below).
+                self._revocations += 1
+                if lease.timeline is not None:
+                    lease.timeline["revoked"] = True
+                log_event(self._log, "lease.revoked", level=logging.WARNING,
+                          shard=lease.shard.shard_id, worker=handle.name,
+                          silent_s=round(now - lease.last_seen, 3))
                 if handle.proc is not None and handle.proc.poll() is None:
                     handle.proc.kill()
                 handle.channel.close()
@@ -504,6 +564,8 @@ class Coordinator:
             )
             return
         self._pending.append(shard)
+        log_event(self._log, "shard.requeued", shard=shard.shard_id,
+                  cells=len(shard.specs), attempts=lease.attempts)
         self._redistribute()
 
     def _redistribute(self) -> None:
@@ -513,6 +575,8 @@ class Coordinator:
             self._assign_work(handle)
 
     def _abandon(self, shard: Shard, reason: str) -> None:
+        log_event(self._log, "shard.abandoned", level=logging.WARNING,
+                  shard=shard.shard_id, cells=len(shard.specs), reason=reason)
         for spec in shard.specs:
             spec_hash = spec.spec_hash()
             if spec_hash not in self._outstanding:
@@ -552,7 +616,29 @@ class Coordinator:
             handle.channel.close()
         self._handles.clear()
         if self.store is not None:
+            flush_t0 = time.perf_counter()
             self.store.flush_journal()
+            flush_s = time.perf_counter() - flush_t0
+            log_event(self._log, "journal.flushed",
+                      flush_s=round(flush_s, 6))
+            if self._telemetry_on and self._timelines:
+                gaps = self._heartbeat_gaps
+                self.store.save_session_telemetry(
+                    {
+                        "kind": "dist",
+                        "transport": self.options.transport,
+                        "workers": self.options.workers,
+                        "shards": self._timelines,
+                        "revocations": self._revocations,
+                        "journal_flush_s": round(flush_s, 6),
+                        "heartbeat_gaps": {
+                            "count": len(gaps),
+                            "max_s": round(max(gaps), 6) if gaps else 0.0,
+                            "mean_s": round(sum(gaps) / len(gaps), 6) if gaps else 0.0,
+                        },
+                        "worker_frames": self._worker_frames,
+                    }
+                )
 
 
 def run_distributed(

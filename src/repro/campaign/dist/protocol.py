@@ -21,6 +21,13 @@ type           direction  meaning
 ``shutdown``   c -> w     no more work; the worker exits its serve loop
 =============  =========  ====================================================
 
+When telemetry is enabled (``REPRO_TELEMETRY``), ``result`` frames carry an
+optional ``telemetry`` dict (the cell's span/phase snapshot, merged by the
+coordinator into the store's index entry) and ``shard_done`` frames an
+optional worker-process aggregate under the same key.  Both fields are
+additive: receivers that predate them ignore unknown keys, so mixed-version
+fleets interoperate.
+
 Run specs travel as their wire form (:meth:`repro.campaign.plan.
 RunSpec.to_wire`), so a worker needs nothing but the scenario registry to
 reconstruct and execute them.

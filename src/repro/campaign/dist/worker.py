@@ -25,6 +25,8 @@ from typing import Optional
 
 from repro.campaign.dist.protocol import Channel, ProtocolError
 from repro.campaign.plan import RunSpec
+from repro.telemetry.core import TELEMETRY, snapshot_of
+from repro.telemetry.log import get_logger, log_event
 
 #: Default liveness ping interval (seconds).  Must be well under the
 #: coordinator's lease timeout; see DistOptions.lease_timeout_s.
@@ -84,7 +86,9 @@ def serve_channel(
 
     ensure_builtin_scenarios()
     name = name or default_worker_name()
-    log = log or (lambda text: None)
+    if log is None:
+        logger = get_logger("campaign.dist.worker")
+        log = lambda text: log_event(logger, "worker", worker=name, detail=text)  # noqa: E731
     channel.send(
         {"type": "hello", "worker": name, "pid": os.getpid(), "host": socket.gethostname()}
     )
@@ -116,9 +120,16 @@ def serve_channel(
                 if record.payload is not None:
                     result["payload"] = record.payload
                     result["report"] = record.report
+                if record.telemetry is not None:
+                    result["telemetry"] = record.telemetry
                 channel.send(result)
             heartbeat.watch(None)
-            channel.send({"type": "shard_done", "shard": shard_id})
+            done = {"type": "shard_done", "shard": shard_id}
+            if TELEMETRY.enabled:
+                # Worker-process aggregate (spans recorded outside any cell
+                # capture — lease handling, idle time between cells).
+                done["telemetry"] = snapshot_of(TELEMETRY.tracer, TELEMETRY.metrics)
+            channel.send(done)
     finally:
         heartbeat.stop()
         channel.close()

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -37,6 +36,7 @@ from repro.campaign.plan import CampaignPlan, RunSpec, scale_for  # noqa: F401
 from repro.campaign.registry import ScenarioError, get_scenario
 from repro.campaign.router import select_audit_pairs
 from repro.campaign.store import ArtifactStore, max_abs_rel_delta
+from repro.telemetry.core import TELEMETRY, capture, timed
 
 
 @dataclass
@@ -49,6 +49,10 @@ class RunRecord:
     cached: bool = False
     elapsed_s: float = 0.0
     error: str = ""
+    #: Compact telemetry snapshot (phases/spans/counters) when tracing was
+    #: enabled for this cell; None otherwise.  Never part of the payload —
+    #: payloads must stay byte-identical across runs of the same spec.
+    telemetry: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -127,11 +131,12 @@ def execute_spec(spec: RunSpec) -> Tuple[Dict, str, float]:
 
     ensure_builtin_scenarios()
     scenario = get_scenario(spec.scenario)
-    start = time.perf_counter()
-    payload = scenario.runner(scale_for(spec), **spec.params_dict)
-    elapsed = time.perf_counter() - start
+    with timed("simulate", scenario=spec.scenario, backend=spec.backend) as t:
+        payload = scenario.runner(scale_for(spec), **spec.params_dict)
     payload = _checked_json(spec, payload)
-    return payload, scenario.render_report(payload), elapsed
+    with timed("report"):
+        report = scenario.render_report(payload)
+    return payload, report, t.elapsed
 
 
 def _checked_json(spec: RunSpec, payload) -> Dict:
@@ -235,7 +240,8 @@ def execute_plan(
         nonlocal reported
         records[index] = record
         if record.ok and not record.cached and store is not None:
-            store.save(record.spec, record.payload, record.report, record.elapsed_s)
+            store.save(record.spec, record.payload, record.report,
+                       record.elapsed_s, telemetry=record.telemetry)
         if progress is not None:
             reported += 1
             progress(reported, total, record)
@@ -315,21 +321,24 @@ def _run_audit_twin(flow_spec: RunSpec, twin: RunSpec) -> RunRecord:
     """
     from repro.campaign import ensure_builtin_scenarios
 
-    try:
-        ensure_builtin_scenarios()
-        scenario = get_scenario(twin.scenario)
-        scale = scale_for(flow_spec).with_backend(twin.backend)
-        start = time.perf_counter()
-        payload = scenario.runner(scale, **twin.params_dict)
-        elapsed = time.perf_counter() - start
-        payload = _checked_json(twin, payload)
-    except Exception as exc:  # noqa: BLE001 - failures become part of the result
-        return RunRecord(spec=twin, error=f"{type(exc).__name__}: {exc}")
+    with capture() as cap:
+        try:
+            ensure_builtin_scenarios()
+            scenario = get_scenario(twin.scenario)
+            scale = scale_for(flow_spec).with_backend(twin.backend)
+            with timed("audit", scenario=twin.scenario, backend=twin.backend) as t:
+                payload = scenario.runner(scale, **twin.params_dict)
+            payload = _checked_json(twin, payload)
+            with timed("report"):
+                report = scenario.render_report(payload)
+        except Exception as exc:  # noqa: BLE001 - failures become part of the result
+            return RunRecord(spec=twin, error=f"{type(exc).__name__}: {exc}")
     return RunRecord(
         spec=twin,
         payload=payload,
-        report=scenario.render_report(payload),
-        elapsed_s=elapsed,
+        report=report,
+        elapsed_s=t.elapsed,
+        telemetry=cap.snapshot(),
     )
 
 
@@ -342,22 +351,29 @@ def run_cell(spec: RunSpec) -> RunRecord:
     outcome is identical no matter which execution substrate ran it.  Must
     stay importable at module level (pool pickling under ``spawn``).
     """
-    try:
-        payload, report, elapsed = execute_spec(spec)
-    except ScenarioError as exc:
-        # Most likely cause in a worker: spawn start method + a scenario
-        # registered outside repro.campaign.scenarios (see module docstring).
-        return RunRecord(
-            spec=spec,
-            error=(
-                f"{type(exc).__name__}: {exc} — if this scenario is registered "
-                "in your own module, workers started via 'spawn' cannot see it; "
-                "register it in an imported module or use workers=1"
-            ),
-        )
-    except Exception as exc:  # noqa: BLE001 - failures become part of the result
-        return RunRecord(spec=spec, error=f"{type(exc).__name__}: {exc}")
-    return RunRecord(spec=spec, payload=payload, report=report, elapsed_s=elapsed)
+    with capture() as cap:
+        try:
+            payload, report, elapsed = execute_spec(spec)
+        except ScenarioError as exc:
+            # Most likely cause in a worker: spawn start method + a scenario
+            # registered outside repro.campaign.scenarios (see module docstring).
+            return RunRecord(
+                spec=spec,
+                error=(
+                    f"{type(exc).__name__}: {exc} — if this scenario is registered "
+                    "in your own module, workers started via 'spawn' cannot see it; "
+                    "register it in an imported module or use workers=1"
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - failures become part of the result
+            return RunRecord(spec=spec, error=f"{type(exc).__name__}: {exc}")
+    return RunRecord(
+        spec=spec,
+        payload=payload,
+        report=report,
+        elapsed_s=elapsed,
+        telemetry=cap.snapshot(),
+    )
 
 
 def _pool_context():

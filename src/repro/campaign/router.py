@@ -175,11 +175,18 @@ class CostHistory:
     def from_store(
         store: Optional["ArtifactStore"], min_runs: int = 3
     ) -> "CostHistory":
-        """Collect elapsed_s samples from a store's index (``None``-safe)."""
+        """Collect timing samples from a store's index (``None``-safe).
+
+        Telemetry-derived ``sim_s`` (simulate phase only) is preferred over
+        ``elapsed_s`` when present: it excludes report/audit/store overhead,
+        so backend cost estimates track simulation work, not artifact I/O.
+        """
         grouped: Dict[Tuple[str, str, str], List[float]] = {}
         if store is not None:
             for entry in store.index().values():
-                elapsed = entry.get("elapsed_s")
+                elapsed = entry.get("sim_s")
+                if not isinstance(elapsed, (int, float)) or elapsed < 0:
+                    elapsed = entry.get("elapsed_s")
                 if not isinstance(elapsed, (int, float)) or elapsed < 0:
                     continue
                 key = (

@@ -33,8 +33,10 @@ import csv
 import json
 import os
 import pathlib
+import time
 from typing import Dict, Iterator, List, Mapping, Optional
 
+from repro.analysis.stats import percentile
 from repro.campaign.plan import RunSpec
 
 
@@ -137,6 +139,7 @@ class ArtifactStore:
         report: str = "",
         elapsed: Optional[float] = None,
         defer_index: bool = False,
+        telemetry: Optional[Mapping] = None,
     ) -> pathlib.Path:
         """Persist one run's payload (and report text) and update the index.
 
@@ -144,13 +147,21 @@ class ArtifactStore:
         coordinator) appends the index entry to the journal instead of
         rewriting ``index.json`` — an O(1) disk operation per result; call
         :meth:`flush_journal` when the stream ends.
+
+        ``telemetry`` (a snapshot from :mod:`repro.telemetry`) is recorded
+        in the index entry next to ``elapsed_s`` — never in the result
+        payload, which must stay byte-identical per spec.  The store adds
+        its own artifact-write time as the ``store`` phase and surfaces the
+        snapshot's simulate-only time as ``sim_s``.
         """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.reports_dir.mkdir(parents=True, exist_ok=True)
         path = self.result_path(spec)
+        store_t0 = time.perf_counter()
         path.write_text(canonical_json(payload), encoding="utf-8")
         if report:
             self.report_path(spec).write_text(report + "\n", encoding="utf-8")
+        store_s = time.perf_counter() - store_t0
         entry: Dict[str, object] = {
             "scenario": spec.scenario,
             "params": spec.params_dict,
@@ -167,6 +178,15 @@ class ArtifactStore:
             entry["elapsed_s"] = round(elapsed, 3)
         if isinstance(payload, Mapping) and isinstance(payload.get("metrics"), Mapping):
             entry["metrics"] = dict(payload["metrics"])
+        if telemetry is not None:
+            snapshot = dict(telemetry)
+            phases = dict(snapshot.get("phases") or {})
+            phases["store"] = round(phases.get("store", 0.0) + store_s, 6)
+            snapshot["phases"] = phases
+            entry["telemetry"] = snapshot
+            sim_s = snapshot.get("sim_s")
+            if isinstance(sim_s, (int, float)):
+                entry["sim_s"] = round(float(sim_s), 6)
         self._index[spec.spec_hash()] = entry
         if defer_index:
             self._append_journal(spec.spec_hash(), entry)
@@ -317,6 +337,7 @@ class ArtifactStore:
                 "backend": entry.get("backend", ""),
                 "routed_from": entry.get("routed_from", ""),
                 "elapsed_s": entry.get("elapsed_s", ""),
+                "sim_s": entry.get("sim_s", ""),
             }
             for name, value in sorted((entry.get("metrics") or {}).items()):
                 row[f"metric.{name}"] = value
@@ -334,7 +355,7 @@ class ArtifactStore:
         """
         columns: List[str] = [
             "hash", "scenario", "scale", "seed", "params", "backend",
-            "routed_from", "elapsed_s",
+            "routed_from", "elapsed_s", "sim_s",
         ]
         metric_names = set()
         for entry in self._index.values():
@@ -358,6 +379,78 @@ class ArtifactStore:
             for row in self.iter_status_rows():
                 writer.writerow(row)
         return path
+
+    def timing_rows(self) -> List[Dict[str, object]]:
+        """Per-phase latency aggregates over every stored telemetry snapshot.
+
+        One row per (scenario, backend, phase) with count, p50/p95 (ms) and
+        total seconds — the data behind ``repro campaign status --timings``.
+        Entries without a ``telemetry`` key (old stores, untraced runs) are
+        simply skipped.
+        """
+        groups: Dict[tuple, List[float]] = {}
+        for entry in self._index.values():
+            snapshot = entry.get("telemetry")
+            if not isinstance(snapshot, Mapping):
+                continue
+            phases = snapshot.get("phases")
+            if not isinstance(phases, Mapping):
+                continue
+            scenario = str(entry.get("scenario", "?"))
+            backend = str(entry.get("backend", ""))
+            for phase, duration in phases.items():
+                try:
+                    duration = float(duration)
+                except (TypeError, ValueError):
+                    continue
+                groups.setdefault((scenario, backend, str(phase)), []).append(duration)
+        rows: List[Dict[str, object]] = []
+        for (scenario, backend, phase), durations in sorted(groups.items()):
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "backend": backend,
+                    "phase": phase,
+                    "n": len(durations),
+                    "p50_ms": round(percentile(durations, 50) * 1000.0, 3),
+                    "p95_ms": round(percentile(durations, 95) * 1000.0, 3),
+                    "total_s": round(sum(durations), 3),
+                }
+            )
+        return rows
+
+    # -- session telemetry -------------------------------------------------------
+
+    @property
+    def telemetry_dir(self) -> pathlib.Path:
+        """Where campaign-lifecycle telemetry (dist timelines) lives."""
+        return self.root / "telemetry"
+
+    def save_session_telemetry(self, payload: Mapping) -> pathlib.Path:
+        """Persist one campaign session's lifecycle telemetry.
+
+        Used by the distributed coordinator for shard timelines, heartbeat
+        gaps and revocations — data that belongs to the *session*, not to
+        any single cell.  Files are numbered, so repeated sessions against
+        the same store accumulate instead of overwriting.
+        """
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        existing = sorted(self.telemetry_dir.glob("session-*.json"))
+        path = self.telemetry_dir / f"session-{len(existing):04d}.json"
+        path.write_text(canonical_json(payload), encoding="utf-8")
+        return path
+
+    def load_session_telemetry(self) -> List[Dict]:
+        """All stored session telemetry payloads, in session order."""
+        if not self.telemetry_dir.exists():
+            return []
+        payloads: List[Dict] = []
+        for path in sorted(self.telemetry_dir.glob("session-*.json")):
+            try:
+                payloads.append(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return payloads
 
     def summary(self) -> Dict[str, int]:
         """Stored-run counts per scenario."""

@@ -245,6 +245,14 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--reports", action="store_true", help="print each run's report table"
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry for this campaign: per-cell phase/span "
+        "snapshots land in the store next to elapsed_s (export with "
+        "'repro campaign trace', aggregate with 'status --timings'); "
+        "propagates to pool and distributed workers via REPRO_TELEMETRY",
+    )
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.add_argument("--tag", default=None, help="only scenarios with this tag")
@@ -290,6 +298,27 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     status.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
     status.add_argument(
         "--csv", type=pathlib.Path, default=None, help="export the store as CSV"
+    )
+    status.add_argument(
+        "--timings",
+        action="store_true",
+        help="aggregate stored telemetry into a per-phase latency table "
+        "(p50/p95 per scenario x backend x phase; needs runs traced with "
+        "'campaign run --trace')",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export stored telemetry as Chrome trace_event JSON "
+        "(chrome://tracing / Perfetto)",
+    )
+    trace.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
+    trace.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="output file (default: <store>/trace.json)",
     )
     return parser
 
@@ -382,7 +411,9 @@ def _worker_main(args, parser) -> int:
             importlib.import_module(args.preload)
         except ImportError as exc:
             parser.error(f"cannot import --preload module {args.preload!r}: {exc}")
-    log = (lambda text: None) if args.quiet else (lambda text: print(text, file=sys.stderr))
+    # --quiet keeps its meaning (no per-shard lines); otherwise the worker
+    # logs through the structured repro.telemetry logger (REPRO_LOG=json|text).
+    log = (lambda text: None) if args.quiet else None
     host = port = None
     if not args.stdio:
         try:
@@ -406,7 +437,16 @@ def _worker_main(args, parser) -> int:
         # A coordinator killed mid-frame (ProtocolError) or a dead peer on
         # send (ValueError from a closed stream) is the same event as a
         # refused connection: the coordinator is gone.
-        print(f"worker: coordinator connection lost: {exc}", file=sys.stderr)
+        import logging
+
+        from repro.telemetry.log import get_logger, log_event
+
+        log_event(
+            get_logger("campaign.dist.worker"),
+            "worker.connection_lost",
+            level=logging.WARNING,
+            error=str(exc),
+        )
         return 3
     return 0 if executed >= 0 else 1
 
@@ -458,9 +498,52 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         print(table.render())
         return 0
 
+    if args.command == "trace":
+        from repro.telemetry.export import chrome_trace, trace_categories, write_chrome_trace
+
+        store = ArtifactStore(args.store)
+        output = args.output if args.output is not None else store.root / "trace.json"
+        trace = chrome_trace(store)
+        spans = sum(1 for ev in trace["traceEvents"] if ev.get("ph") == "X")
+        if not spans:
+            print(
+                f"no telemetry in {store.root} — run campaigns with "
+                "'repro campaign run --trace' first",
+                file=sys.stderr,
+            )
+            return 2
+        path = write_chrome_trace(store, output)
+        cats = ", ".join(trace_categories(trace))
+        print(f"wrote {path} ({spans} span(s); layers: {cats})")
+        print("load it in chrome://tracing or https://ui.perfetto.dev")
+        return 0
+
     if args.command == "status":
         store = ArtifactStore(args.store)
         from repro.analysis.reporting import campaign_metrics_table
+
+        if args.timings:
+            from repro.analysis.reporting import Table
+
+            rows = store.timing_rows()
+            if not rows:
+                print(
+                    f"no telemetry in {store.root} — run campaigns with "
+                    "'repro campaign run --trace' first",
+                    file=sys.stderr,
+                )
+                return 2
+            table = Table(
+                title=f"phase timings — {store.root}",
+                columns=["scenario", "backend", "phase", "n", "p50 ms", "p95 ms", "total s"],
+            )
+            for row in rows:
+                table.add_row(
+                    row["scenario"], row["backend"], row["phase"], row["n"],
+                    row["p50_ms"], row["p95_ms"], row["total_s"],
+                )
+            print(table.render())
+            return 0
 
         print(f"store: {store.root} — {len(store)} stored run(s)")
         for scenario_name, count in store.summary().items():
@@ -510,6 +593,14 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     audit_fraction = args.audit_fraction
     if audit_fraction is None:
         audit_fraction = 0.1 if args.backend == "auto" else 0.0
+    if args.trace:
+        # Enable in this process (mutates the singleton pre-fork, so pool
+        # workers inherit it) and in the environment (spawned dist workers
+        # re-import with REPRO_TELEMETRY set).
+        from repro.telemetry import TELEMETRY_ENV_VAR, enable as telemetry_enable
+
+        os.environ[TELEMETRY_ENV_VAR] = "1"
+        telemetry_enable()
     store = None if args.no_store else ArtifactStore(args.store)
     # Audits alone need no router — they sample the plan at execute time.
     router = None
@@ -529,15 +620,18 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                     "for multiple values"
                 )
             overrides[axis] = values
-        plan = plan_campaign(
-            names,
-            scale=args.scale,
-            seed=args.seed if args.seed is not None else DEFAULT_SEED,
-            overrides=overrides,
-            name="+".join(names) if len(names) <= 3 else f"{len(names)}-scenarios",
-            backend=args.backend,
-            router=router,
-        )
+        from repro.telemetry import timed
+
+        with timed("plan", backend=args.backend, scale=args.scale):
+            plan = plan_campaign(
+                names,
+                scale=args.scale,
+                seed=args.seed if args.seed is not None else DEFAULT_SEED,
+                overrides=overrides,
+                name="+".join(names) if len(names) <= 3 else f"{len(names)}-scenarios",
+                backend=args.backend,
+                router=router,
+            )
     except BudgetError as exc:
         print(f"budget error: {exc}", file=sys.stderr)
         return 2
@@ -641,6 +735,22 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"artifacts: {store.root}")
         if args.csv is not None:
             print(f"wrote {store.export_csv(args.csv)}")
+        if args.trace:
+            from repro.telemetry import TELEMETRY, snapshot_of
+
+            # Campaign-level phases (plan, the run loop's own spans) become a
+            # session payload next to any dist-session telemetry.
+            snapshot = snapshot_of(TELEMETRY.tracer, TELEMETRY.metrics)
+            snapshot["kind"] = "campaign"
+            store.save_session_telemetry(snapshot)
+            traced = sum(
+                1 for entry in store.index().values() if "telemetry" in entry
+            )
+            print(
+                f"telemetry: {traced} traced cell(s) in store — "
+                f"'repro campaign trace --store {store.root}' exports the "
+                "Chrome trace, 'repro campaign status --timings' aggregates"
+            )
     return 1 if result.failed else 0
 
 

@@ -106,6 +106,9 @@ def new_stats() -> Dict[str, int]:
         "skipped": 0,
         "rounds": 0,
         "flows_touched": 0,
+        # Incremental component walks that crossed _FULL_SOLVE_FRACTION and
+        # fell back to a full solve (always 0 for the reference engine).
+        "aborts": 0,
     }
 
 

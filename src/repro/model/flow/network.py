@@ -51,6 +51,7 @@ from repro.routing.bias import bias_for_mode
 from repro.routing.modes import RoutingMode
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry.core import TELEMETRY
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.geometry import router_of_node
 from repro.topology.paths import Path, PathSampler
@@ -612,10 +613,31 @@ class FlowNetwork(NetworkModel):
         self.sim.schedule(0, self._resolve)
 
     def _resolve(self) -> None:
-        self._dirty = False
-        self._advance_progress()
-        self._engine.solve()
-        self._schedule_completion()
+        if not TELEMETRY.enabled:
+            self._dirty = False
+            self._advance_progress()
+            self._engine.solve()
+            self._schedule_completion()
+            return
+        stats = self._engine.stats
+        full0 = stats["full"]
+        incremental0 = stats["incremental"]
+        skipped0 = stats["skipped"]
+        rounds0 = stats["rounds"]
+        touched0 = stats["flows_touched"]
+        aborts0 = stats.get("aborts", 0)
+        with TELEMETRY.tracer.span("flow.solve", cat="solver",
+                                   flows=len(self._engine)) as sp:
+            self._dirty = False
+            self._advance_progress()
+            self._engine.solve()
+            self._schedule_completion()
+            sp.add(full=stats["full"] - full0,
+                   incremental=stats["incremental"] - incremental0,
+                   skipped=stats["skipped"] - skipped0,
+                   rounds=stats["rounds"] - rounds0,
+                   flows_touched=stats["flows_touched"] - touched0,
+                   aborts=stats.get("aborts", 0) - aborts0)
 
     def _advance_progress(self) -> None:
         now = self.sim.now

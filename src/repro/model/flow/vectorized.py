@@ -238,6 +238,8 @@ class VectorizedFairShareEngine:
                         seen_links.add(other)
                         stack.append(other)
         if full or len(affected) >= self._count:
+            if full:
+                self.stats["aborts"] += 1
             self.stats["full"] += 1
             return np.flatnonzero(self._alive)
         self.stats["incremental"] += 1

@@ -34,6 +34,7 @@ from repro.mpi.request import Request
 from repro.network.packet import Message, RdmaOp
 from repro.routing.modes import RoutingMode
 from repro.sim.rng import RandomStreams
+from repro.telemetry.core import TELEMETRY
 
 ProgramFactory = Callable[["RankContext"], "object"]
 PolicyFactory = Callable[[], RoutingPolicy]
@@ -120,6 +121,18 @@ class MpiJob:
         belonging to other traffic (background jobs) keep executing while the
         job runs and simply remain queued afterwards.
         """
+        if not TELEMETRY.enabled:
+            return self._run(program, max_events)
+        cycles_before = self.sim.now
+        with TELEMETRY.tracer.span("sim.run", cat="sim", job=self.name) as sp:
+            result = self._run(program, max_events)
+            sp.add(events=self.sim.events_executed,
+                   cycles=result - cycles_before,
+                   queue_depth=self.sim.pending_events,
+                   ranks=self.size)
+        return result
+
+    def _run(self, program: ProgramFactory, max_events: int) -> int:
         self.start(program)
         executed = 0
         while not self._finished:

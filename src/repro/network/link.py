@@ -81,6 +81,7 @@ class Link:
         "_occ_delayed_value",
         "packets_forwarded",
         "flits_forwarded",
+        "credits_returned",
         "queue_wait_cycles",
         "deadlock_timeout",
         "deadlock_reliefs",
@@ -128,6 +129,7 @@ class Link:
         self._occ_delayed_value = 0
         self.packets_forwarded = 0
         self.flits_forwarded = 0
+        self.credits_returned = 0
         #: Cumulative cycles packets spent waiting in this output queue — the
         #: analogue of a network-tile stall counter (used for Table 1).
         self.queue_wait_cycles = 0
@@ -195,6 +197,7 @@ class Link:
 
     def _credits_arrived(self, flits: int) -> None:
         self.credits += flits
+        self.credits_returned += flits
         if self.credits > self.capacity:
             raise RuntimeError(f"{self.name}: credit overflow ({self.credits}/{self.capacity})")
         self._record_occupancy()

@@ -26,6 +26,7 @@ from repro.routing.modes import RoutingMode
 from repro.routing.ugal import UgalSelector
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry.core import TELEMETRY
 from repro.topology.dragonfly import DragonflyTopology, LinkKind
 from repro.topology.geometry import router_of_node
 
@@ -257,11 +258,27 @@ class Network(NetworkModel):
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Advance the simulation (see :meth:`repro.sim.engine.Simulator.run`)."""
-        return self.sim.run(until=until, max_events=max_events)
+        if not TELEMETRY.enabled:
+            return self.sim.run(until=until, max_events=max_events)
+        flits_before = self.total_flits_traversed()
+        credits_before = self.total_credits_returned()
+        with TELEMETRY.tracer.span("flit.run", cat="flit") as sp:
+            result = self.sim.run(until=until, max_events=max_events)
+            sp.add(flits=self.total_flits_traversed() - flits_before,
+                   credits=self.total_credits_returned() - credits_before)
+        return result
 
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
         """Run until every queued event has been processed."""
-        return self.sim.run_until_idle(max_events=max_events)
+        if not TELEMETRY.enabled:
+            return self.sim.run_until_idle(max_events=max_events)
+        flits_before = self.total_flits_traversed()
+        credits_before = self.total_credits_returned()
+        with TELEMETRY.tracer.span("flit.run", cat="flit") as sp:
+            result = self.sim.run_until_idle(max_events=max_events)
+            sp.add(flits=self.total_flits_traversed() - flits_before,
+                   credits=self.total_credits_returned() - credits_before)
+        return result
 
     # -- system-wide statistics -------------------------------------------------------
 
@@ -273,6 +290,15 @@ class Network(NetworkModel):
             else [self.routers[r] for r in router_ids]
         )
         return sum(r.flits_traversed for r in routers)
+
+    def total_credits_returned(self) -> int:
+        """Credits returned across every link (fabric + injection + ejection)."""
+        fabric = sum(link.credits_returned for link in self._links.values())
+        hosts = sum(
+            link.credits_returned
+            for link in (*self._injection_links, *self._ejection_links)
+        )
+        return fabric + hosts
 
     def total_deadlock_reliefs(self) -> int:
         """Escape-valve activations across all links (should stay at/near zero)."""
@@ -294,8 +320,10 @@ class Network(NetworkModel):
             link.queue_wait_cycles = 0
             link.packets_forwarded = 0
             link.flits_forwarded = 0
+            link.credits_returned = 0
         for link in (*self._injection_links, *self._ejection_links):
             link.queue_wait_cycles = 0
             link.packets_forwarded = 0
             link.flits_forwarded = 0
+            link.credits_returned = 0
         self.selector.reset_statistics()

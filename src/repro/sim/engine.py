@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.telemetry.core import TELEMETRY
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
@@ -166,6 +168,21 @@ class Simulator:
         an absolute time: events scheduled strictly after it remain queued and
         the clock is advanced to ``until``.
         """
+        if not TELEMETRY.enabled:
+            return self._run(until, max_events)
+        events_before = self._events_executed
+        now_before = self._now
+        with TELEMETRY.tracer.span("sim.run", cat="sim") as sp:
+            result = self._run(until, max_events)
+            events = self._events_executed - events_before
+            sp.add(events=events, cycles=self._now - now_before,
+                   queue_depth=len(self._queue))
+        TELEMETRY.metrics.incr("sim.events", events)
+        TELEMETRY.metrics.incr("sim.cycles", self._now - now_before)
+        TELEMETRY.metrics.gauge("sim.queue_depth", len(self._queue))
+        return result
+
+    def _run(self, until: Optional[int], max_events: Optional[int]) -> int:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True

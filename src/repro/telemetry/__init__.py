@@ -1,0 +1,60 @@
+"""Zero-dependency observability: tracing, metrics, structured logging.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.telemetry.core` — the :data:`TELEMETRY` singleton with a
+  span :class:`Tracer` and :class:`Metrics` registry; no-op unless
+  enabled (``enable()`` or ``REPRO_TELEMETRY=1``) so instrumented hot
+  paths cost one attribute lookup when off.
+* :mod:`repro.telemetry.log` — structured stderr logging
+  (``REPRO_LOG=json|text``) used by the distributed runtime instead of
+  stray prints.
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` export and
+  phase-timing aggregation over a campaign store.
+"""
+
+from repro.telemetry.core import (
+    MAX_EVENTS,
+    NULL_SPAN,
+    TELEMETRY,
+    TELEMETRY_ENV_VAR,
+    Metrics,
+    Span,
+    Telemetry,
+    Tracer,
+    capture,
+    disable,
+    enable,
+    env_enabled,
+    snapshot_of,
+    timed,
+)
+from repro.telemetry.log import (
+    LOG_FORMAT_ENV_VAR,
+    LOG_LEVEL_ENV_VAR,
+    get_logger,
+    log_event,
+    reset_logging,
+)
+
+__all__ = [
+    "LOG_FORMAT_ENV_VAR",
+    "LOG_LEVEL_ENV_VAR",
+    "MAX_EVENTS",
+    "NULL_SPAN",
+    "TELEMETRY",
+    "TELEMETRY_ENV_VAR",
+    "Metrics",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "env_enabled",
+    "get_logger",
+    "log_event",
+    "reset_logging",
+    "snapshot_of",
+    "timed",
+]
