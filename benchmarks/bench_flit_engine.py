@@ -1,0 +1,307 @@
+"""Flit-engine benchmark: engine parity, and speedup over the frozen seed.
+
+Three measurements on the ``bench_backends`` scenario (noisy inter-group
+16 KiB ping-pong), flit backend only:
+
+1. **Parity** — the scenario runs once under the ``reference`` (binary-heap)
+   engine and once under the ``calendar`` (bucketed) engine.  Both runs must
+   be event-for-event equivalent: identical event counts, simulated cycles,
+   per-iteration timelines, NIC counter blocks and routing-decision tallies.
+   The digest of all of that is compared byte-for-byte and the benchmark
+   *fails* on any mismatch — the speedup numbers are meaningless without it.
+2. **Engine speedup** — wall-clock of calendar vs reference on the identical
+   substrate, isolating the scheduler data structure.
+3. **Seed speedup** — wall-clock vs the *frozen pre-optimization tree*
+   (``SEED_REV``), materialized from git history into a temp directory via
+   ``git archive`` and run in a subprocess.  This captures the full effect of
+   the PR (engine + event-count reduction + callback slimming).  When git or
+   the seed commit is unavailable (shallow clone, sdist), the section is
+   skipped and reported as ``null``.
+
+JSON artifact: ``benchmarks/results/BENCH_flit_engine.json``::
+
+    python -m pytest benchmarks/bench_flit_engine.py -q -s
+    python benchmarks/bench_flit_engine.py            # standalone, same JSON
+    python benchmarks/bench_flit_engine.py --smoke    # tiny scenario (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # `python benchmarks/bench_flit_engine.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.experiments.harness import ExperimentScale
+from repro.model import build_network_model
+from repro.mpi.job import MpiJob
+from repro.noise.background import BackgroundTraffic, NoiseLevel
+from repro.sim.engine import SIM_ENGINE_ENV_VAR, SIM_ENGINE_KINDS
+from repro.workloads.microbench import PingPongBenchmark
+
+#: The pre-optimization tree this PR started from (kept runnable from git
+#: history so the speedup baseline is measured, not remembered).
+SEED_REV = "1db438ac73c347f8a8b1be20c4db375bc1e5f97c"
+
+#: Self-asserted floor for the end-to-end speedup over the seed tree.  The
+#: measured value on the development machine is ~1.9-2.2x (smoke) / ~1.6x
+#: (paper); the floor leaves room for machine noise.  The original 5x target
+#: was not reached in pure CPython — the residual cost is per-packet routing
+#: and NIC bookkeeping, not the scheduler (see README "Flit engine").
+MIN_SEED_SPEEDUP = 1.4
+
+#: The calendar engine must never regress against the reference engine
+#: (0.9 rather than 1.0 absorbs timer noise on loaded CI machines; the
+#: measured ratio is ~1.1-1.2x).
+MIN_ENGINE_SPEEDUP = 0.9
+
+
+def run_flit(engine: str, scale: ExperimentScale) -> dict:
+    """Run the flit scenario under one engine kind; returns a series entry.
+
+    The run digest covers everything observable from the outside: event
+    count, simulated cycles, the per-iteration timeline, both endpoint NIC
+    counter blocks and the selector's decision tallies.  Two engines that
+    execute the same events in the same order produce identical digests.
+    """
+    config = scale.simulation_config().with_backend("flit")
+    previous = os.environ.get(SIM_ENGINE_ENV_VAR)
+    os.environ[SIM_ENGINE_ENV_VAR] = engine
+    try:
+        network = build_network_model(config)
+    finally:
+        if previous is None:
+            os.environ.pop(SIM_ENGINE_ENV_VAR, None)
+        else:
+            os.environ[SIM_ENGINE_ENV_VAR] = previous
+    allocation = [0, network.num_nodes - 1]
+    noise = BackgroundTraffic.for_level(
+        network, allocation, NoiseLevel.MODERATE, name="bench-noise"
+    )
+    if noise is not None:
+        noise.start()
+    # Same job name under every engine: the name seeds the job's random
+    # streams, so it must be identical for runs to be comparable.
+    job = MpiJob(network, allocation, name="bench-flit")
+    workload = PingPongBenchmark(
+        size_bytes=scale.scaled_size(16 * 1024),
+        iterations=scale.pingpong_repetitions,
+        warmup=1,
+    )
+    start = time.perf_counter()
+    result = workload.run(job)
+    if noise is not None:
+        noise.stop()
+    elapsed = time.perf_counter() - start
+    selector = network.selector
+    observable = {
+        "events": network.sim.events_executed,
+        "simulated_cycles": network.sim.now,
+        "iteration_times": list(result.iteration_times),
+        "counters": [
+            dataclasses.asdict(network.nic(node).counters.snapshot())
+            for node in allocation
+        ],
+        "decisions": [
+            selector.decisions,
+            selector.minimal_decisions,
+            selector.nonminimal_decisions,
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(observable, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "engine": engine,
+        "wall_s": round(elapsed, 4),
+        "events": observable["events"],
+        "events_per_sec": round(observable["events"] / max(1e-9, elapsed), 1),
+        "simulated_cycles": observable["simulated_cycles"],
+        "median_iteration_cycles": result.median_time(),
+        "digest": digest,
+    }
+
+
+def run_seed(scale: ExperimentScale) -> dict | None:
+    """Run the frozen seed tree on the same scenario; None if unavailable."""
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    probe = subprocess.run(
+        ["git", "-C", str(repo_root), "cat-file", "-e", f"{SEED_REV}^{{commit}}"],
+        capture_output=True,
+    )
+    if probe.returncode != 0:
+        return None
+    with tempfile.TemporaryDirectory(prefix="seed-flit-") as tmp:
+        tar = subprocess.run(
+            ["git", "-C", str(repo_root), "archive", SEED_REV],
+            capture_output=True,
+        )
+        if tar.returncode != 0:
+            return None
+        subprocess.run(
+            ["tar", "-x", "-C", tmp], input=tar.stdout, check=True
+        )
+        script = (
+            "import json, sys\n"
+            "from benchmarks.bench_backends import run_backend\n"
+            "from repro.experiments.harness import ExperimentScale\n"
+            "scale = ExperimentScale.from_env('REPRO_BENCH_SCALE')\n"
+            "print(json.dumps(run_backend('flit', scale)))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(tmp) / "src")
+        env["REPRO_BENCH_SCALE"] = scale.name
+        env.pop(SIM_ENGINE_ENV_VAR, None)  # the seed predates engine selection
+        run = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=tmp,
+            env=env,
+        )
+        if run.returncode != 0:
+            return None
+        entry = json.loads(run.stdout.strip().splitlines()[-1])
+        return {
+            "rev": SEED_REV,
+            "wall_s": entry["wall_s"],
+            "events": entry["events"],
+            "events_per_sec": entry["events_per_sec"],
+            "median_iteration_cycles": entry["median_iteration_cycles"],
+        }
+
+
+def measure_flit_engine(scale: ExperimentScale, with_seed: bool = True) -> dict:
+    """Run every engine (and optionally the seed tree); returns the payload."""
+    series = [run_flit(engine, scale) for engine in SIM_ENGINE_KINDS]
+    by_engine = {entry["engine"]: entry for entry in series}
+    reference = by_engine["reference"]
+    calendar = by_engine["calendar"]
+    engines_agree = len({entry["digest"] for entry in series}) == 1
+    engine_speedup = reference["wall_s"] / max(1e-9, calendar["wall_s"])
+    seed = run_seed(scale) if with_seed else None
+    payload = {
+        "benchmark": "flit_engine",
+        "scale": scale.name,
+        "scenario": "noisy inter-group 16 KiB ping-pong (flit backend)",
+        "engines_agree": engines_agree,
+        "run_digest": calendar["digest"],
+        "calendar_speedup_vs_reference": round(engine_speedup, 3),
+        "series": series,
+        "seed": seed,
+    }
+    if seed is not None:
+        payload["speedup_vs_seed"] = round(
+            seed["wall_s"] / max(1e-9, calendar["wall_s"]), 3
+        )
+        payload["event_reduction_vs_seed"] = round(
+            seed["events"] / max(1, calendar["events"]), 3
+        )
+    else:
+        payload["speedup_vs_seed"] = None
+        payload["event_reduction_vs_seed"] = None
+    return payload
+
+
+def check_bars(payload: dict) -> None:
+    """Self-asserted acceptance bars (raises AssertionError on regression).
+
+    Parity is asserted unconditionally — it is exact and noise-free.  The
+    wall-clock floors are asserted at smoke scale only (the CI scale, where
+    the runs are short enough to be retried cheaply); a single paper-scale
+    sample on a loaded machine can swing by 30%, so there they are reported
+    but not enforced.
+    """
+    assert payload["engines_agree"], (
+        "reference and calendar engines diverged: "
+        + ", ".join(f"{e['engine']}={e['digest'][:12]}" for e in payload["series"])
+    )
+    if payload["scale"] != "smoke":
+        return
+    assert payload["calendar_speedup_vs_reference"] >= MIN_ENGINE_SPEEDUP, (
+        f"calendar engine regressed vs reference: "
+        f"{payload['calendar_speedup_vs_reference']:.2f}x < {MIN_ENGINE_SPEEDUP}x"
+    )
+    if payload["speedup_vs_seed"] is not None:
+        assert payload["speedup_vs_seed"] >= MIN_SEED_SPEEDUP, (
+            f"speedup vs seed tree below the floor: "
+            f"{payload['speedup_vs_seed']:.2f}x < {MIN_SEED_SPEEDUP}x"
+        )
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_flit_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    lines = [f"flit engine — {payload['scenario']} ({payload['scale']} scale)"]
+    for entry in payload["series"]:
+        lines.append(
+            f"  {entry['engine']:9s}: {entry['wall_s']:8.3f} s wall, "
+            f"{entry['events']:8d} events ({entry['events_per_sec']:>12.1f} ev/s)"
+        )
+    agree = "identical" if payload["engines_agree"] else "DIVERGED"
+    lines.append(f"  parity: run digests {agree} ({payload['run_digest'][:12]})")
+    lines.append(
+        f"  calendar speedup vs reference: "
+        f"{payload['calendar_speedup_vs_reference']:.2f}x"
+    )
+    seed = payload["seed"]
+    if seed is not None:
+        lines.append(
+            f"  seed tree ({seed['rev'][:7]}): {seed['wall_s']:.3f} s wall, "
+            f"{seed['events']} events"
+        )
+        lines.append(
+            f"  speedup vs seed: {payload['speedup_vs_seed']:.2f}x wall, "
+            f"{payload['event_reduction_vs_seed']:.2f}x fewer events"
+        )
+    else:
+        lines.append("  seed tree unavailable (shallow clone?) — section skipped")
+    return "\n".join(lines)
+
+
+def test_flit_engine(benchmark, scale, results_dir):
+    """Engine parity + speedup trajectory; JSON emitted per PR."""
+    payload = benchmark.pedantic(
+        measure_flit_engine, args=(scale,), rounds=1, iterations=1
+    )
+    _write_json(payload, results_dir)
+    emit(results_dir, "flit_engine", _render(payload))
+    check_bars(payload)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="force the tiny smoke scale regardless of REPRO_BENCH_SCALE",
+    )
+    parser.add_argument(
+        "--no-seed",
+        action="store_true",
+        help="skip the frozen-seed subprocess comparison",
+    )
+    args = parser.parse_args()
+    bench_scale = (
+        ExperimentScale.smoke() if args.smoke else ExperimentScale.from_env()
+    )
+    result = measure_flit_engine(bench_scale, with_seed=not args.no_seed)
+    path = _write_json(result, RESULTS_DIR)
+    print(_render(result))
+    print(f"wrote {path}")
+    check_bars(result)

@@ -10,16 +10,20 @@ and extended without versioned binary schemas.
 
 Message vocabulary (all coordinator/worker traffic):
 
-=============  =========  ====================================================
-type           direction  meaning
-=============  =========  ====================================================
-``hello``      w -> c     worker announces itself (name, pid, host)
-``lease``      c -> w     a shard to execute: id + serialized specs
-``result``     w -> c     one finished cell (payload/report/elapsed or error)
-``shard_done`` w -> c     every cell of the leased shard was streamed back
-``heartbeat``  w -> c     liveness while executing a long cell
-``shutdown``   c -> w     no more work; the worker exits its serve loop
-=============  =========  ====================================================
+================  =========  =================================================
+type              direction  meaning
+================  =========  =================================================
+``hello``         w -> c     worker announces itself (name, pid, host)
+``lease``         c -> w     a shard to execute: id + serialized specs
+``result``        w -> c     one finished cell (payload/report/elapsed/error)
+``result_batch``  w -> c     several finished cells in one frame: a
+                             ``results`` list whose entries are ``result``
+                             bodies (sans ``type``/``shard``) — sent by
+                             workers running with ``--batch-results N > 1``
+``shard_done``    w -> c     every cell of the leased shard was streamed back
+``heartbeat``     w -> c     liveness while executing a long cell
+``shutdown``      c -> w     no more work; the worker exits its serve loop
+================  =========  =================================================
 
 When telemetry is enabled (``REPRO_TELEMETRY``), ``result`` frames carry an
 optional ``telemetry`` dict (the cell's span/phase snapshot, merged by the

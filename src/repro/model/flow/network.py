@@ -49,7 +49,7 @@ from repro.network.counters import NicCounters
 from repro.network.packet import Message, RdmaOp
 from repro.routing.bias import bias_for_mode
 from repro.routing.modes import RoutingMode
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, make_simulator
 from repro.sim.rng import RandomStreams
 from repro.telemetry.core import TELEMETRY
 from repro.topology.dragonfly import DragonflyTopology
@@ -183,7 +183,7 @@ class FlowNetwork(NetworkModel):
         solver: Optional[str] = None,
     ):
         self.config = config or SimulationConfig()
-        self.sim = sim or Simulator()
+        self.sim = sim or make_simulator()
         self.streams = streams or RandomStreams(self.config.seed)
         self.topology = DragonflyTopology(self.config.topology)
         self.sampler = PathSampler(self.topology, self.streams.stream("routing"))

@@ -128,23 +128,35 @@ class MpiJob:
             result = self._run(program, max_events)
             sp.add(events=self.sim.events_executed,
                    cycles=result - cycles_before,
-                   queue_depth=self.sim.pending_events,
+                   queue_depth=self.sim.live_events,
                    ranks=self.size)
         return result
 
     def _run(self, program: ProgramFactory, max_events: int) -> int:
         self.start(program)
-        executed = 0
+        sim = self.sim
+        remaining = max_events
+        # The simulator's run loop is much cheaper per event than stepping
+        # one event at a time; _rank_done/_fail request a stop from inside
+        # the callback, so the loop still returns at the exact event that
+        # finishes (or fails) the job.
         while not self._finished:
             if self._failures:
                 raise self._failures[0]
-            if not self.sim.step():
+            before = sim.events_executed
+            sim.run(max_events=remaining)
+            ran = sim.events_executed - before
+            remaining -= ran
+            if self._failures:
+                raise self._failures[0]
+            if self._finished:
+                break
+            if sim.empty():
                 raise RuntimeError(
                     f"{self.name}: simulation ran out of events before all ranks "
                     "finished — a rank is waiting for a message that was never sent"
                 )
-            executed += 1
-            if executed > max_events:
+            if remaining <= 0:
                 raise RuntimeError(f"{self.name}: exceeded {max_events} events")
         if self._failures:
             raise self._failures[0]
@@ -163,6 +175,7 @@ class MpiJob:
             return
         except BaseException as exc:  # propagate program bugs to the caller
             self._failures.append(exc)
+            self.sim.stop()  # surface the failure without draining the queue
             self._rank_done()
             return
         requests = yielded if isinstance(yielded, (list, tuple)) else [yielded]
@@ -188,6 +201,7 @@ class MpiJob:
                 self._failures.append(
                     TypeError(f"rank {rank} yielded {request!r}, expected Request")
                 )
+                self.sim.stop()
                 self._rank_done()
                 return
             request.add_callback(_one_done)
@@ -196,6 +210,7 @@ class MpiJob:
         self._active_ranks -= 1
         if self._active_ranks == 0:
             self._finished = True
+            self.sim.stop()
 
     # -- point-to-point engine -------------------------------------------------------
 

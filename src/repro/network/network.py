@@ -24,7 +24,7 @@ from repro.network.packet import Message, Packet, RdmaOp
 from repro.network.router import Router
 from repro.routing.modes import RoutingMode
 from repro.routing.ugal import UgalSelector
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.rng import RandomStreams
 from repro.telemetry.core import TELEMETRY
 from repro.topology.dragonfly import DragonflyTopology, LinkKind
@@ -50,7 +50,7 @@ class Network(NetworkModel):
         streams: Optional[RandomStreams] = None,
     ):
         self.config = config or SimulationConfig()
-        self.sim = sim or Simulator()
+        self.sim = sim or make_simulator()
         self.streams = streams or RandomStreams(self.config.seed)
         self.topology = DragonflyTopology(self.config.topology)
 
@@ -71,7 +71,13 @@ class Network(NetworkModel):
             self.config.routing,
             self.streams.stream("routing"),
             link_probe=self.link,
+            links=self._links,
         )
+        #: node id -> router id, precomputed for the per-packet routing hook.
+        self._router_of_node: List[int] = [
+            router_of_node(node, self.config.topology)
+            for node in range(self.topology.num_nodes)
+        ]
         #: Messages completed (delivered), for experiment bookkeeping.
         self.delivered_messages: int = 0
 
@@ -90,6 +96,10 @@ class Network(NetworkModel):
 
     def _build_fabric(self) -> None:
         topo_cfg = self.config.topology
+        # Runs with no credit-information delay answer every far-end probe
+        # from the live credit count, so the per-update occupancy history
+        # would be pure overhead.
+        track_occupancy = self.config.routing.credit_info_delay > 0
         for link_id in self.topology.all_links():
             kind = link_id.kind
             latency = self.topology.link_latency(kind)
@@ -101,6 +111,7 @@ class Network(NetworkModel):
                 buffer_flits=self._buffer_for(topo_cfg.router_buffer_flits, latency),
                 cycles_per_flit=topo_cfg.fabric_cycles_per_flit,
                 deliver=self.routers[link_id.dst].packet_arrived,
+                track_occupancy=track_occupancy,
             )
             self._links[(link_id.src, link_id.dst)] = link
             self.routers[link_id.src].attach_output(link_id.dst, link)
@@ -125,6 +136,10 @@ class Network(NetworkModel):
                 deliver=router.packet_arrived,
                 measure_stalls=True,
                 on_stall=nic.record_stall,
+                # Routing only probes the delayed occupancy of *fabric*
+                # links (the first hop of a candidate path), never the host
+                # links, so their history would go unread.
+                track_occupancy=False,
             )
             injection.on_transmit = self.assign_path
             # router -> NIC (ejection) link.
@@ -138,6 +153,7 @@ class Network(NetworkModel):
                 ),
                 cycles_per_flit=topo_cfg.cycles_per_flit,
                 deliver=nic.packet_ejected,
+                track_occupancy=False,
             )
             nic.injection_link = injection
             router.attach_ejection(node_id, ejection)
@@ -148,19 +164,20 @@ class Network(NetworkModel):
     # -- routing hook ----------------------------------------------------------
 
     def assign_path(self, packet: Packet) -> None:
-        """Choose the packet's path; called as its first flit leaves the NIC."""
+        """Choose the packet's path; called as its first flit leaves the NIC.
+
+        Responses are small control packets; the hardware routes them
+        adaptively as well, but their contribution to congestion is minor —
+        they travel with the same mode as their request stream (pinned by
+        ``tests/test_network.py::TestResponseRouting``).
+        """
         if packet.path is not None:
             return
-        topo_cfg = self.config.topology
-        src_router = router_of_node(packet.src_node, topo_cfg)
-        dst_router = router_of_node(packet.dst_node, topo_cfg)
-        mode = packet.message.routing_mode
-        if packet.is_response:
-            # Responses are small control packets; the hardware routes them
-            # adaptively as well, but their contribution to congestion is
-            # minor — route them with the same mode as the request stream.
-            mode = packet.message.routing_mode
-        decision = self.selector.select(src_router, dst_router, mode)
+        routers = self._router_of_node
+        decision = self.selector.select(
+            routers[packet.src_node], routers[packet.dst_node],
+            packet.message.routing_mode,
+        )
         packet.path = decision.path
         packet.minimal = decision.minimal
         packet.hop_index = 0

@@ -109,7 +109,10 @@ class Nic:
 
     def _inject_packet(self, message: Message) -> None:
         index = message.num_packets - self._active_remaining
-        flits = self._request_flits_for(message, index)
+        if index < message.full_packets:
+            flits = message.req_flits_full
+        else:
+            flits = message.req_flits_tail
         packet = Packet(
             message=message,
             src_node=self.node_id,
@@ -131,32 +134,6 @@ class Nic:
         if self.injection_link is None:
             raise RuntimeError(f"NIC {self.node_id} is not wired to a router")
         self.injection_link.enqueue(packet)
-
-    def _request_flits_for(self, message: Message, index: int) -> int:
-        nic = self.config
-        if message.op == RdmaOp.GET:
-            return nic.header_flits
-        return nic.header_flits + self._payload_flits_for(message, index)
-
-    def _response_flits_for(self, message: Message, index: int) -> int:
-        nic = self.config
-        if message.op == RdmaOp.GET:
-            # The data travels in the response for GETs.
-            return nic.header_flits + self._payload_flits_for(message, index)
-        return nic.response_flits
-
-    def _payload_flits_for(self, message: Message, index: int) -> int:
-        """Payload flits of the ``index``-th data-carrying packet."""
-        nic = self.config
-        if message.size_bytes == 0:
-            return 0
-        full_packets = message.size_bytes // nic.packet_payload_bytes
-        if index < full_packets:
-            return nic.max_payload_flits
-        tail_bytes = message.size_bytes - full_packets * nic.packet_payload_bytes
-        if tail_bytes <= 0:
-            return nic.max_payload_flits
-        return -(-tail_bytes // nic.flit_payload_bytes)
 
     # -- counter feedback from the injection link ------------------------------
 
@@ -188,20 +165,25 @@ class Nic:
                 self.on_message_delivered(message)
             if message.on_delivered is not None:
                 message.on_delivered(message)
-        # Send the response back to the source NIC.  For PUTs this is a bare
-        # acknowledgement flit; for GETs the response carries the data.
-        response = Packet(
-            message=message,
-            src_node=self.node_id,
-            dst_node=packet.src_node,
-            flits=self._response_flits_for(message, packet.index_in_message),
-            is_response=True,
-            index_in_message=packet.index_in_message,
-        )
-        response.request_inject_start = packet.inject_start_time
+        # Send the response back to the source NIC by recycling the delivered
+        # request packet in place: nothing else holds a reference to it once
+        # its ejection buffer is freed, so flipping the endpoints avoids one
+        # allocation per request.  For PUTs the response is a bare
+        # acknowledgement; for GETs it carries the data.
         if self.injection_link is None:
             raise RuntimeError(f"NIC {self.node_id} is not wired to a router")
-        self.injection_link.enqueue(response)
+        if packet.index_in_message < message.full_packets:
+            flits = message.resp_flits_full
+        else:
+            flits = message.resp_flits_tail
+        packet.dst_node = packet.src_node
+        packet.src_node = self.node_id
+        packet.flits = flits
+        packet.is_response = True
+        packet.path = None  # re-routed at injection with fresh congestion info
+        packet.hop_index = 0
+        packet.request_inject_start = packet.inject_start_time
+        self.injection_link.enqueue(packet)
 
     def _response_received(self, packet: Packet) -> None:
         message = packet.message

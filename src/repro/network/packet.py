@@ -91,6 +91,11 @@ class Message:
         "num_packets",
         "request_flits",
         "response_flits",
+        "full_packets",
+        "req_flits_full",
+        "req_flits_tail",
+        "resp_flits_full",
+        "resp_flits_tail",
         "packets_injected",
         "packets_delivered",
         "packets_acked",
@@ -127,6 +132,32 @@ class Message:
         self.num_packets = packets
         self.request_flits = req_flits
         self.response_flits = resp_flits
+        # Per-packet flit layout, precomputed so the NIC's injection hot path
+        # is a compare and an attribute read instead of division per packet:
+        # packets with ``index < full_packets`` carry a full payload, the
+        # remaining (at most one) packet carries the tail.
+        nic = nic_config
+        if size_bytes == 0:
+            full_packets = 0
+            payload_full = payload_tail = 0
+        else:
+            full_packets = size_bytes // nic.packet_payload_bytes
+            payload_full = nic.max_payload_flits
+            tail_bytes = size_bytes - full_packets * nic.packet_payload_bytes
+            if tail_bytes <= 0:
+                payload_tail = nic.max_payload_flits
+            else:
+                payload_tail = -(-tail_bytes // nic.flit_payload_bytes)
+        self.full_packets = full_packets
+        if op == RdmaOp.GET:
+            # GET requests are a bare header; the data rides the response.
+            self.req_flits_full = self.req_flits_tail = nic.header_flits
+            self.resp_flits_full = nic.header_flits + payload_full
+            self.resp_flits_tail = nic.header_flits + payload_tail
+        else:
+            self.req_flits_full = nic.header_flits + payload_full
+            self.req_flits_tail = nic.header_flits + payload_tail
+            self.resp_flits_full = self.resp_flits_tail = nic.response_flits
         self.packets_injected = 0
         self.packets_delivered = 0
         self.packets_acked = 0

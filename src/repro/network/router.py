@@ -65,14 +65,22 @@ class Router:
         self.flits_traversed += packet.flits
         self.packets_traversed += 1
         path = packet.path
-        if path is None:
-            raise RoutingError(f"packet {packet.id} arrived at router without a path")
-        if packet.hop_index >= len(path) or path[packet.hop_index] != self.router_id:
+        hop = packet.hop_index
+        try:
+            here_ok = path[hop] == self.router_id
+        except (TypeError, IndexError):
+            here_ok = False
+        if not here_ok:
+            if path is None:
+                raise RoutingError(
+                    f"packet {packet.id} arrived at router without a path"
+                )
             raise RoutingError(
                 f"packet {packet.id} arrived at router {self.router_id} but its path "
-                f"expects {path[packet.hop_index] if packet.hop_index < len(path) else '<end>'}"
+                f"expects {path[hop] if hop < len(path) else '<end>'}"
             )
-        if packet.hop_index == len(path) - 1:
+        hop += 1
+        if hop == len(path):
             # Final router: eject towards the destination NIC.
             try:
                 ejection = self.ejection_links[packet.dst_node]
@@ -82,13 +90,12 @@ class Router:
                 ) from None
             ejection.enqueue(packet)
             return
-        next_router = path[packet.hop_index + 1]
-        packet.hop_index += 1
+        packet.hop_index = hop
         try:
-            link = self.output_links[next_router]
+            link = self.output_links[path[hop]]
         except KeyError:
             raise RoutingError(
-                f"router {self.router_id} has no link to {next_router} "
+                f"router {self.router_id} has no link to {path[hop]} "
                 f"(path {path})"
             ) from None
         link.enqueue(packet)

@@ -18,8 +18,7 @@ the scoring entirely.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import RoutingConfig
 from repro.routing.bias import bias_for_mode
@@ -32,14 +31,32 @@ Path = Tuple[int, ...]
 LinkProbe = Callable[[int, int], "object"]
 
 
-@dataclass
 class PathDecision:
     """Outcome of one routing decision (kept for statistics and tests)."""
 
-    path: Path
-    minimal: bool
-    score: float
-    candidates_considered: int
+    __slots__ = ("path", "minimal", "score", "candidates_considered")
+
+    def __init__(
+        self, path: Path, minimal: bool, score: float, candidates_considered: int
+    ):
+        self.path = path
+        self.minimal = minimal
+        self.score = score
+        self.candidates_considered = candidates_considered
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathDecision):
+            return NotImplemented
+        return (
+            self.path == other.path
+            and self.minimal == other.minimal
+            and self.score == other.score
+            and self.candidates_considered == other.candidates_considered
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "minimal" if self.minimal else "nonminimal"
+        return f"PathDecision({self.path}, {kind}, score={self.score})"
 
 
 class UgalSelector:
@@ -58,6 +75,11 @@ class UgalSelector:
         :class:`repro.network.link.Link`, used to read congestion.  It may be
         ``None`` for purely structural uses (e.g. tests of path legality), in
         which case congestion is treated as zero everywhere.
+    links:
+        Optional direct mapping ``(src_router, dst_router) -> Link`` covering
+        every fabric link.  When given, the per-candidate congestion probe
+        skips the ``link_probe`` indirection (the scoring runs four times per
+        injected packet, so the call overhead is measurable).
     """
 
     def __init__(
@@ -66,15 +88,21 @@ class UgalSelector:
         config: RoutingConfig,
         rng: random.Random,
         link_probe: Optional[LinkProbe] = None,
+        links: Optional[dict] = None,
     ):
         self.topology = topology
         self.config = config
         self.rng = rng
         self.link_probe = link_probe
+        self.links = links
         self.sampler = PathSampler(topology, rng)
         self.decisions = 0
         self.minimal_decisions = 0
         self.nonminimal_decisions = 0
+        self._far_weight = config.far_end_weight
+        self._info_delay = config.credit_info_delay
+        #: (mode, minimal_hops) -> bias; bias_for_mode is pure in the config.
+        self._bias_cache: Dict[Tuple[RoutingMode, int], float] = {}
 
     # -- congestion scoring ----------------------------------------------------
 
@@ -83,14 +111,20 @@ class UgalSelector:
         hops = len(path) - 1
         if hops <= 0:
             return 0.0
-        if self.link_probe is None:
+        links = self.links
+        if links is not None:
+            link = links[(path[0], path[1])]
+        elif self.link_probe is not None:
+            link = self.link_probe(path[0], path[1])
+        else:
             return float(hops)
-        link = self.link_probe(path[0], path[1])
-        cfg = self.config
-        port_congestion = link.local_congestion() + cfg.far_end_weight * link.far_congestion(
-            cfg.credit_info_delay
-        )
-        return port_congestion * hops + float(hops)
+        delay = self._info_delay
+        if delay <= 0:
+            far = float(link.capacity - link.credits)
+        else:
+            far = link.far_congestion(delay)
+        port_congestion = link.queue_flits + self._far_weight * far
+        return port_congestion * hops + hops
 
     # -- selection ---------------------------------------------------------------
 
@@ -121,23 +155,50 @@ class UgalSelector:
             bias = 0.0
         else:
             minimal_hops = self.sampler.minimal_hops(src_router, dst_router)
-            bias = bias_for_mode(mode, cfg, minimal_hops)
-
-        candidates: List[Tuple[float, bool, Path]] = []
-        for _ in range(cfg.minimal_candidates):
-            path = self.sampler.minimal(src_router, dst_router)
-            candidates.append((self._path_score(path), True, path))
-        for _ in range(cfg.nonminimal_candidates):
-            path = self.sampler.nonminimal(src_router, dst_router)
-            score = self._path_score(path) * cfg.nonminimal_penalty + bias
-            candidates.append((score, False, path))
+            key = (mode, minimal_hops)
+            bias = self._bias_cache.get(key)
+            if bias is None:
+                bias = bias_for_mode(mode, cfg, minimal_hops)
+                self._bias_cache[key] = bias
 
         # Prefer minimal candidates on ties so a zero-bias idle network still
-        # routes minimally (matching hardware behaviour at low load).
-        best_score, best_minimal, best_path = min(
-            candidates, key=lambda item: (item[0], not item[1])
-        )
-        return PathDecision(best_path, best_minimal, best_score, len(candidates))
+        # routes minimally (matching hardware behaviour at low load): minimal
+        # candidates are scored first and only a strictly better score can
+        # displace the running best.
+        sampler = self.sampler
+        score_of = self._path_score
+        best_path: Optional[Path] = None
+        best_score = 0.0
+        best_minimal = True
+        considered = 0
+        prev_path: Optional[Path] = None
+        prev_score = 0.0
+        for _ in range(cfg.minimal_candidates):
+            path = sampler.minimal(src_router, dst_router)
+            # The sampler returns interned tuples, so two draws of the same
+            # minimal route are the *same object*; scoring is pure at a fixed
+            # instant, making the cached score exact.
+            if path is prev_path:
+                score = prev_score
+            else:
+                score = score_of(path)
+                prev_path = path
+                prev_score = score
+            if best_path is None or score < best_score:
+                best_score = score
+                best_path = path
+            considered += 1
+        penalty = cfg.nonminimal_penalty
+        for _ in range(cfg.nonminimal_candidates):
+            path = sampler.nonminimal(src_router, dst_router)
+            score = score_of(path) * penalty + bias
+            if best_path is None or score < best_score:
+                best_score = score
+                best_path = path
+                best_minimal = False
+            considered += 1
+        assert best_path is not None
+        return PathDecision(best_path, best_minimal, best_score, considered)
 
     def _record(self, decision: PathDecision) -> PathDecision:
         self.decisions += 1

@@ -17,13 +17,26 @@ hold arbitrarily many cancelled entries) on every call.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, List, Optional
 
 from repro.telemetry.core import TELEMETRY
 
+#: Environment variable selecting the event-engine implementation.
+SIM_ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: Known engine kinds, in preference order.  ``reference`` is the original
+#: binary-heap engine kept for parity testing; ``calendar`` is the bucketed
+#: calendar-queue engine that the flit backend uses by default.
+SIM_ENGINE_KINDS = ("calendar", "reference")
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
+
+
+class SimEngineError(RuntimeError):
+    """Raised when an unknown simulation engine is requested."""
 
 
 class Event:
@@ -80,6 +93,9 @@ class Simulator:
     10
     """
 
+    #: Which engine implementation this is (see :func:`make_simulator`).
+    engine_kind = "reference"
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
@@ -87,6 +103,7 @@ class Simulator:
         self._events_executed: int = 0
         self._running: bool = False
         self._live_events: int = 0
+        self._stop_requested: bool = False
 
     # -- inspection ---------------------------------------------------------
 
@@ -131,6 +148,22 @@ class Simulator:
         self._live_events += 1
         return Event(entry, self)
 
+    def schedule_call(self, delay, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` without materializing an :class:`Event`.
+
+        The hot paths of the network model schedule hundreds of thousands of
+        callbacks that are never cancelled; this variant skips the handle
+        allocation entirely.  Semantics are otherwise identical to
+        :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if isinstance(delay, float):
+            delay = -int(-delay // 1)
+        heapq.heappush(self._queue, [self._now + delay, self._seq, fn, args])
+        self._seq += 1
+        self._live_events += 1
+
     def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self._now:
@@ -140,6 +173,17 @@ class Simulator:
         return self.schedule(time - self._now, fn, *args)
 
     # -- execution ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` to return after the current event.
+
+        Lets drivers that wait for a condition flipped *inside* an event
+        callback (e.g. :class:`~repro.mpi.job.MpiJob` waiting for its last
+        rank) use the tight ``run`` loop instead of stepping one event at a
+        time.  A no-op when the simulator is idle.
+        """
+        if self._running:
+            self._stop_requested = True
 
     def step(self) -> bool:
         """Execute the next live event.  Return False if the queue is empty."""
@@ -175,17 +219,21 @@ class Simulator:
         with TELEMETRY.tracer.span("sim.run", cat="sim") as sp:
             result = self._run(until, max_events)
             events = self._events_executed - events_before
+            # Report live events, not raw queue length: the heap may hold
+            # arbitrarily many cancelled tombstones, which would make the
+            # gauge overstate real load.
             sp.add(events=events, cycles=self._now - now_before,
-                   queue_depth=len(self._queue))
+                   queue_depth=self._live_events)
         TELEMETRY.metrics.incr("sim.events", events)
         TELEMETRY.metrics.incr("sim.cycles", self._now - now_before)
-        TELEMETRY.metrics.gauge("sim.queue_depth", len(self._queue))
+        TELEMETRY.metrics.gauge("sim.queue_depth", self._live_events)
         return result
 
     def _run(self, until: Optional[int], max_events: Optional[int]) -> int:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        self._stop_requested = False
         executed = 0
         queue = self._queue
         try:
@@ -207,6 +255,9 @@ class Simulator:
                 self._live_events -= 1
                 executed += 1
                 fn(*args)
+                if self._stop_requested:
+                    self._stop_requested = False
+                    break
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -237,3 +288,46 @@ class Simulator:
         self._queue.clear()
         self._events_executed = 0
         self._live_events = 0
+        self._stop_requested = False
+
+
+# -- engine selection ---------------------------------------------------------
+
+
+def default_engine_kind() -> str:
+    """The engine kind to use when none is requested explicitly.
+
+    ``REPRO_SIM_ENGINE`` overrides the built-in default (``calendar``); an
+    unknown value raises :class:`SimEngineError` rather than silently falling
+    back, so typos in CI configs are caught immediately.
+    """
+    requested = os.environ.get(SIM_ENGINE_ENV_VAR, "").strip().lower()
+    if requested:
+        if requested not in SIM_ENGINE_KINDS:
+            raise SimEngineError(
+                f"unknown simulation engine {requested!r} (from "
+                f"{SIM_ENGINE_ENV_VAR}); known engines: {', '.join(SIM_ENGINE_KINDS)}"
+            )
+        return requested
+    return "calendar"
+
+
+def make_simulator(kind: Optional[str] = None) -> Simulator:
+    """Build a simulator of the requested (or default) engine kind.
+
+    Both engines honour the exact same (time, scheduling-order) execution
+    contract, so they are interchangeable; ``reference`` is kept as the
+    parity baseline for the equivalence suite in ``tests/test_flit_engine.py``.
+    """
+    if kind is None:
+        kind = default_engine_kind()
+    if kind == "reference":
+        return Simulator()
+    if kind == "calendar":
+        from repro.sim.calendar import CalendarSimulator
+
+        return CalendarSimulator()
+    raise SimEngineError(
+        f"unknown simulation engine {kind!r}; known engines: "
+        f"{', '.join(SIM_ENGINE_KINDS)}"
+    )

@@ -89,7 +89,13 @@ class PathSampler:
         self._blades_per_chassis = cfg.blades_per_chassis
         self._routers_per_group = cfg.routers_per_group
         self._num_groups = cfg.num_groups
+        self._num_routers = topology.num_routers
         self._hops_cache: Dict[Tuple[int, int], int] = {}
+        # src*num_routers+dst -> tuple of equally-likely gateway choices,
+        # each a tuple of equally-likely minimal paths through that gateway.
+        # Intra-group pairs store a single pseudo-gateway entry.  Sampling a
+        # minimal path is then two uniform draws over prebuilt tuples.
+        self._minimal_options: Dict[int, Tuple[Tuple[Path, ...], ...]] = {}
 
     # -- fast coordinate helpers ----------------------------------------------
 
@@ -137,21 +143,43 @@ class PathSampler:
 
     # -- public samplers -----------------------------------------------------
 
+    def _build_minimal_options(self, src_router: int, dst_router: int) -> Tuple[Tuple[Path, ...], ...]:
+        """Enumerate the per-gateway minimal path choices for one pair.
+
+        The nesting mirrors the hardware-style hierarchical sampling this
+        class has always done: pick a gateway pair uniformly, then one of
+        the (up to four) head×tail leg combinations uniformly.  Keeping the
+        two levels separate preserves that distribution exactly — a gateway
+        with one leg combination is as likely as one with four.
+        """
+        gs = self._groups[src_router]
+        gd = self._groups[dst_router]
+        if gs == gd:
+            return (tuple(self._intra_group_all_minimal(src_router, dst_router)),)
+        options = []
+        for ga, gb in self.topology.gateways(gs, gd):
+            combos = tuple(
+                head + tail
+                for head in self._intra_group_all_minimal(src_router, ga)
+                for tail in self._intra_group_all_minimal(gb, dst_router)
+            )
+            options.append(combos)
+        return tuple(options)
+
     def minimal(self, src_router: int, dst_router: int) -> Path:
         """Sample one minimal path from ``src_router`` to ``dst_router``."""
         if src_router == dst_router:
             return (src_router,)
-        gs = self._groups[src_router]
-        gd = self._groups[dst_router]
-        if gs == gd:
-            return self._intra_group_minimal(src_router, dst_router)
-        gateways = self.topology.gateways(gs, gd)
-        ga, gb = gateways[self.rng.randrange(len(gateways))] if len(gateways) > 1 else gateways[0]
-        head = self._intra_group_minimal(src_router, ga)
-        tail = self._intra_group_minimal(gb, dst_router)
-        # ``head`` ends at the source-side gateway and ``tail`` starts at the
-        # destination-side gateway; the optical hop joins them directly.
-        return head + tail
+        key = src_router * self._num_routers + dst_router
+        options = self._minimal_options.get(key)
+        if options is None:
+            options = self._build_minimal_options(src_router, dst_router)
+            self._minimal_options[key] = options
+        rnd = self.rng.random
+        combos = options[int(rnd() * len(options))] if len(options) > 1 else options[0]
+        if len(combos) > 1:
+            return combos[int(rnd() * len(combos))]
+        return combos[0]
 
     def nonminimal(
         self, src_router: int, dst_router: int, intermediate: Optional[int] = None
@@ -168,13 +196,14 @@ class PathSampler:
             return (src_router,)
         gs = self._groups[src_router]
         gd = self._groups[dst_router]
-        rng = self.rng
+        rnd = self.rng.random
+        rpg = self._routers_per_group
         if gs == gd:
             if intermediate is None:
-                base = gs * self._routers_per_group
-                intermediate = base + rng.randrange(self._routers_per_group)
+                base = gs * rpg
+                intermediate = base + int(rnd() * rpg)
                 if intermediate in (src_router, dst_router):
-                    intermediate = base + rng.randrange(self._routers_per_group)
+                    intermediate = base + int(rnd() * rpg)
                 if intermediate in (src_router, dst_router):
                     return self.minimal(src_router, dst_router)
             head = self._intra_group_minimal(src_router, intermediate)
@@ -184,12 +213,12 @@ class PathSampler:
         if intermediate is None:
             if self._num_groups <= 2:
                 return self._two_group_detour(src_router, dst_router)
-            gi = rng.randrange(self._num_groups)
+            gi = int(rnd() * self._num_groups)
             while gi == gs or gi == gd:
-                gi = rng.randrange(self._num_groups)
+                gi = int(rnd() * self._num_groups)
         else:
             gi = intermediate
-        pivot = gi * self._routers_per_group + rng.randrange(self._routers_per_group)
+        pivot = gi * rpg + int(rnd() * rpg)
         head = self.minimal(src_router, pivot)
         tail = self.minimal(pivot, dst_router)
         return head + tail[1:]
@@ -198,7 +227,7 @@ class PathSampler:
         """Non-minimal path when only two groups exist."""
         gd = self._groups[dst_router]
         base = gd * self._routers_per_group
-        pivot = base + self.rng.randrange(self._routers_per_group)
+        pivot = base + int(self.rng.random() * self._routers_per_group)
         if pivot == dst_router:
             pivot = base + (pivot - base + 1) % self._routers_per_group
         if pivot == dst_router:

@@ -223,6 +223,124 @@ class TestProtocol:
             )
 
 
+# -- result batching ----------------------------------------------------------------
+
+class TestResultBatching:
+    """--batch-results N buffers worker results into result_batch frames."""
+
+    def _serve(self, channel, batch):
+        from repro.campaign.dist.worker import serve_channel
+
+        # A 30 s heartbeat keeps liveness pings out of the frame sequence
+        # the test asserts on.
+        serve_channel(channel, name="batcher", heartbeat_s=30.0, batch_results=batch)
+
+    def test_batch_frame_wire_roundtrip(self):
+        """5 cells at N=2 travel as 2+2 batches plus one classic result."""
+        loop = _Loopback()
+        specs = [
+            RunSpec.make("_dist-sleepy", {"i": i, "sleep_s": 0.0}) for i in range(5)
+        ]
+        server = threading.Thread(
+            target=self._serve, args=(loop.right, 2), daemon=True
+        )
+        server.start()
+        frames = []
+        try:
+            assert loop.left.recv()["type"] == "hello"
+            loop.left.send(
+                {
+                    "type": "lease",
+                    "shard": 7,
+                    "specs": [spec.to_wire() for spec in specs],
+                }
+            )
+            while True:
+                frame = loop.left.recv()
+                frames.append(frame)
+                if frame["type"] == "shard_done":
+                    break
+            loop.left.send({"type": "shutdown"})
+        finally:
+            server.join(timeout=10)
+            loop.close()
+        assert [f["type"] for f in frames] == [
+            "result_batch", "result_batch", "result", "shard_done"
+        ]
+        bodies = [
+            entry
+            for frame in frames[:2]
+            for entry in frame["results"]
+        ] + [frames[2]]
+        assert all(frame["shard"] == 7 for frame in frames[:3])
+        # Every cell came back exactly once, intact and in lease order.
+        rebuilt = [RunSpec.from_wire(body["spec"]) for body in bodies]
+        assert rebuilt == specs
+        assert all(body["error"] == "" and "payload" in body for body in bodies)
+
+    def test_single_cell_shard_uses_classic_frame(self):
+        """A flush of one result degrades to the pre-batching frame type."""
+        loop = _Loopback()
+        spec = RunSpec.make("_dist-sleepy", {"i": 0, "sleep_s": 0.0})
+        server = threading.Thread(
+            target=self._serve, args=(loop.right, 8), daemon=True
+        )
+        server.start()
+        try:
+            assert loop.left.recv()["type"] == "hello"
+            loop.left.send(
+                {"type": "lease", "shard": 1, "specs": [spec.to_wire()]}
+            )
+            result = loop.left.recv()
+            assert result["type"] == "result"
+            assert RunSpec.from_wire(result["spec"]) == spec
+            assert loop.left.recv()["type"] == "shard_done"
+            loop.left.send({"type": "shutdown"})
+        finally:
+            server.join(timeout=10)
+            loop.close()
+
+    def test_batched_store_matches_streaming(self, tmp_path, sleepy_env):
+        plan = _sleepy_plan(cells=6)
+        batched_store = ArtifactStore(tmp_path / "batched")
+        result = run_distributed(
+            plan,
+            store=batched_store,
+            options=_options(workers=2, extra_env=sleepy_env, batch_results=3),
+        )
+        assert result.failed == 0 and result.executed == 6
+        streamed_store = ArtifactStore(tmp_path / "streamed")
+        run_distributed(
+            plan, store=streamed_store, options=_options(workers=2, extra_env=sleepy_env)
+        )
+        for spec in plan:
+            assert (
+                batched_store.result_path(spec).read_bytes()
+                == streamed_store.result_path(spec).read_bytes()
+            ), f"artifact for {spec.label()} differs batched vs streamed"
+
+    def test_coordinator_passes_flag_to_spawned_workers(self):
+        coordinator = Coordinator(
+            _sleepy_plan(1), options=_options(workers=1, batch_results=4)
+        )
+        command = coordinator._worker_command()
+        assert command[command.index("--batch-results") + 1] == "4"
+        plain = Coordinator(_sleepy_plan(1), options=_options(workers=1))
+        assert "--batch-results" not in plain._worker_command()
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_results"):
+            DistOptions(batch_results=0)
+        from repro.campaign.dist.worker import serve_channel
+
+        loop = _Loopback()
+        try:
+            with pytest.raises(ValueError, match="batch_results"):
+                serve_channel(loop.right, batch_results=0)
+        finally:
+            loop.close()
+
+
 # -- shard planning -----------------------------------------------------------------
 
 def _costed_plan(works):

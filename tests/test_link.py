@@ -134,8 +134,11 @@ class TestCredits:
         sim = Simulator()
         link = make_link(sim, lambda p, l: None)
         link.return_credits(1)
+        # Credit returns settle lazily: the overflow surfaces at the first
+        # read after the batch's arrival cycle, not via a scheduled event.
+        sim.run(until=link.latency)
         with pytest.raises(RuntimeError):
-            sim.run()
+            link.occupancy
 
     def test_holding_link_released_on_next_hop(self):
         sim = Simulator()
@@ -148,6 +151,10 @@ class TestCredits:
         assert second_arrivals
         # After the second link forwarded the packet, the first link's credits
         # must have been returned (the packet left its downstream buffer).
+        # The in-flight batch lands one wire latency after the release; run
+        # the clock past it and read through the settling probe.
+        sim.run(until=sim.now + first.latency)
+        assert first.occupancy == 0
         assert first.credits == first.capacity
         assert packet.holding_link is second
 

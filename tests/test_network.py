@@ -246,6 +246,43 @@ class TestRouterErrors:
             router.attach_ejection(0, object())
 
 
+class TestResponseRouting:
+    """Responses are routed with the same mode as their request stream.
+
+    Pins the behaviour documented on :meth:`Network.assign_path`: a response
+    packet goes through the selector with ``message.routing_mode`` — it is
+    not silently forced minimal, nor re-decided with a different mode.
+    """
+
+    def _run(self, mode: RoutingMode) -> Network:
+        network = Network(SimulationConfig.small())
+        # Inter-group traffic so minimal and non-minimal paths both exist.
+        message = network.send(0, network.num_nodes - 1, 8 * 1024, routing_mode=mode)
+        network.run_until_idle()
+        assert message.acked
+        return network
+
+    def test_min_hash_keeps_responses_minimal(self):
+        network = self._run(RoutingMode.MIN_HASH)
+        # Requests AND responses go through the selector; none may divert.
+        assert network.selector.decisions > 0
+        assert network.selector.nonminimal_decisions == 0
+
+    def test_nmin_hash_diverts_responses_too(self):
+        network = self._run(RoutingMode.NMIN_HASH)
+        # Every decision (request and response alike) must be non-minimal.
+        assert network.selector.decisions > 0
+        assert network.selector.minimal_decisions == 0
+
+    def test_response_decisions_counted(self):
+        """The selector sees two decisions per packet: request + response."""
+        network = Network(SimulationConfig.small())
+        message = network.send(0, network.num_nodes - 1, 4 * 1024)
+        network.run_until_idle()
+        assert message.acked
+        assert network.selector.decisions == 2 * message.num_packets
+
+
 @given(
     size=st.integers(min_value=1, max_value=32 * 1024),
     src=st.integers(min_value=0, max_value=15),

@@ -155,7 +155,14 @@ class TestCongestionAwareSelection:
         assert probe.nonminimal_packets > 0
 
     def test_high_bias_diverts_less_than_zero_bias(self):
-        """The minimal-path fraction grows monotonically with the bias."""
+        """A higher bias keeps more traffic on the minimal path.
+
+        The load is kept *moderate* (4 KiB per sender): once the shared
+        green link saturates, congestion scores dwarf any bias value and the
+        minimal fraction becomes insensitive to the mode — the bias effect
+        is only observable while minimal and diverted scores are of the same
+        order.
+        """
         fractions = {}
         for mode in (RoutingMode.ADAPTIVE_0, RoutingMode.ADAPTIVE_3):
             network = Network(SimulationConfig.small())
@@ -166,7 +173,7 @@ class TestCongestionAwareSelection:
             for slot in range(nodes_per_router):
                 messages.append(
                     network.send(
-                        slot, nodes_per_router + slot, 32 * 1024, routing_mode=mode
+                        slot, nodes_per_router + slot, 4 * 1024, routing_mode=mode
                     )
                 )
             network.run_until_idle()
