@@ -1,22 +1,26 @@
-"""Flit-engine benchmark: engine parity, and speedup over the frozen seed.
+"""Flit-engine benchmark: three-engine parity matrix, speedup over the seed.
 
-Three measurements on the ``bench_backends`` scenario (noisy inter-group
+Measurements on the ``bench_backends`` scenario (noisy inter-group
 16 KiB ping-pong), flit backend only:
 
-1. **Parity** — the scenario runs once under the ``reference`` (binary-heap)
-   engine and once under the ``calendar`` (bucketed) engine.  Both runs must
-   be event-for-event equivalent: identical event counts, simulated cycles,
-   per-iteration timelines, NIC counter blocks and routing-decision tallies.
-   The digest of all of that is compared byte-for-byte and the benchmark
-   *fails* on any mismatch — the speedup numbers are meaningless without it.
-2. **Engine speedup** — wall-clock of calendar vs reference on the identical
-   substrate, isolating the scheduler data structure.
-3. **Seed speedup** — wall-clock vs the *frozen pre-optimization tree*
-   (``SEED_REV``), materialized from git history into a temp directory via
-   ``git archive`` and run in a subprocess.  This captures the full effect of
-   the PR (engine + event-count reduction + callback slimming).  When git or
-   the seed commit is unavailable (shallow clone, sdist), the section is
-   skipped and reported as ``null``.
+1. **Parity** — the scenario runs once under each engine kind
+   (``reference`` binary heap, ``calendar`` bucketed queue, ``batch`` fused
+   network plane).  All runs must be event-for-event equivalent: identical
+   event counts, simulated cycles, per-iteration timelines, NIC counter
+   blocks and routing-decision tallies.  The digests are compared
+   byte-for-byte and the benchmark *fails* on any mismatch — the speedup
+   numbers are meaningless without it.
+2. **Engine matrix** — wall-clock, events and events/s per engine;
+   ``calendar_speedup_vs_reference`` isolates the scheduler data structure,
+   ``batch_speedup_vs_calendar`` isolates the fused/NumPy network plane.
+3. **Seed speedup** — the fastest engine (``batch``) vs the *frozen
+   pre-optimization tree* (``SEED_REV``), materialized from git history into
+   a temp directory via ``git archive`` and run in a subprocess.  This
+   captures the aggregate effect of PR 7 + PR 8 (calendar scheduler,
+   event-count reduction, callback slimming, fused batch plane).  When the
+   seed commit is absent from history (shallow clone, sdist) the section is
+   skipped with a notice; any *other* rebuild failure raises loudly instead
+   of silently writing ``null``.
 
 JSON artifact: ``benchmarks/results/BENCH_flit_engine.json``::
 
@@ -53,17 +57,29 @@ from repro.workloads.microbench import PingPongBenchmark
 #: history so the speedup baseline is measured, not remembered).
 SEED_REV = "1db438ac73c347f8a8b1be20c4db375bc1e5f97c"
 
-#: Self-asserted floor for the end-to-end speedup over the seed tree.  The
-#: measured value on the development machine is ~1.9-2.2x (smoke) / ~1.6x
-#: (paper); the floor leaves room for machine noise.  The original 5x target
-#: was not reached in pure CPython — the residual cost is per-packet routing
-#: and NIC bookkeeping, not the scheduler (see README "Flit engine").
-MIN_SEED_SPEEDUP = 1.4
+#: Self-asserted floor for the end-to-end speedup of the fastest engine
+#: (batch) over the seed tree.  The measured value on the development
+#: machine is ~1.9x (smoke); the floor leaves room for machine noise.  The
+#: original 5x target was not reached in pure CPython: the event count is
+#: already within ~5% of the information-theoretic floor (one arrival per
+#: hop), and with exact decision parity every remaining cycle is per-packet
+#: routing/NIC bookkeeping that must run at its simulated time (queue
+#: depths are probed signals), so it cannot be batched across cycles (see
+#: README "Flit engine").
+MIN_SEED_SPEEDUP = 1.5
 
 #: The calendar engine must never regress against the reference engine
 #: (0.9 rather than 1.0 absorbs timer noise on loaded CI machines; the
 #: measured ratio is ~1.1-1.2x).
 MIN_ENGINE_SPEEDUP = 0.9
+
+#: The batch engine must never regress against the calendar engine.  The
+#: measured ratio is ~1.07-1.11x (smoke and paper scale) — far short of the
+#: 3x target for the same reason the seed target was missed: with an exact
+#: parity contract the fused plane can only remove call/dispatch overhead,
+#: not the per-event state updates themselves.  The floor (0.95) asserts
+#: non-regression with room for timer noise.
+MIN_BATCH_SPEEDUP = 0.95
 
 
 def run_flit(engine: str, scale: ExperimentScale) -> dict:
@@ -133,13 +149,26 @@ def run_flit(engine: str, scale: ExperimentScale) -> dict:
 
 
 def run_seed(scale: ExperimentScale) -> dict | None:
-    """Run the frozen seed tree on the same scenario; None if unavailable."""
+    """Run the frozen seed tree on the same scenario.
+
+    Returns ``None`` only for the one *legitimate* unavailability: the seed
+    commit is absent from history (shallow clone, sdist tarball).  Every
+    other failure — ``git archive`` refusing a commit that exists, the
+    extracted tree failing to run — indicates a broken benchmark setup and
+    raises with the captured stderr, so a regression in this path cannot
+    masquerade as "seed unavailable" in the JSON artifact.
+    """
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     probe = subprocess.run(
         ["git", "-C", str(repo_root), "cat-file", "-e", f"{SEED_REV}^{{commit}}"],
         capture_output=True,
     )
     if probe.returncode != 0:
+        print(
+            f"seed commit {SEED_REV[:12]} not in history "
+            "(shallow clone?) — skipping the seed comparison",
+            file=sys.stderr,
+        )
         return None
     with tempfile.TemporaryDirectory(prefix="seed-flit-") as tmp:
         tar = subprocess.run(
@@ -147,7 +176,10 @@ def run_seed(scale: ExperimentScale) -> dict | None:
             capture_output=True,
         )
         if tar.returncode != 0:
-            return None
+            raise RuntimeError(
+                f"git archive {SEED_REV[:12]} failed although the commit "
+                f"exists:\n{tar.stderr.decode(errors='replace')}"
+            )
         subprocess.run(
             ["tar", "-x", "-C", tmp], input=tar.stdout, check=True
         )
@@ -170,7 +202,10 @@ def run_seed(scale: ExperimentScale) -> dict | None:
             env=env,
         )
         if run.returncode != 0:
-            return None
+            raise RuntimeError(
+                f"seed tree {SEED_REV[:12]} failed to run the flit "
+                f"scenario:\n{run.stderr}"
+            )
         entry = json.loads(run.stdout.strip().splitlines()[-1])
         return {
             "rev": SEED_REV,
@@ -187,8 +222,10 @@ def measure_flit_engine(scale: ExperimentScale, with_seed: bool = True) -> dict:
     by_engine = {entry["engine"]: entry for entry in series}
     reference = by_engine["reference"]
     calendar = by_engine["calendar"]
+    batch = by_engine["batch"]
     engines_agree = len({entry["digest"] for entry in series}) == 1
     engine_speedup = reference["wall_s"] / max(1e-9, calendar["wall_s"])
+    batch_speedup = calendar["wall_s"] / max(1e-9, batch["wall_s"])
     seed = run_seed(scale) if with_seed else None
     payload = {
         "benchmark": "flit_engine",
@@ -197,15 +234,18 @@ def measure_flit_engine(scale: ExperimentScale, with_seed: bool = True) -> dict:
         "engines_agree": engines_agree,
         "run_digest": calendar["digest"],
         "calendar_speedup_vs_reference": round(engine_speedup, 3),
+        "batch_speedup_vs_calendar": round(batch_speedup, 3),
         "series": series,
         "seed": seed,
     }
+    # The headline seed comparison uses the fastest engine (batch): it is
+    # the engine a throughput-sensitive campaign would select.
     if seed is not None:
         payload["speedup_vs_seed"] = round(
-            seed["wall_s"] / max(1e-9, calendar["wall_s"]), 3
+            seed["wall_s"] / max(1e-9, batch["wall_s"]), 3
         )
         payload["event_reduction_vs_seed"] = round(
-            seed["events"] / max(1, calendar["events"]), 3
+            seed["events"] / max(1, batch["events"]), 3
         )
     else:
         payload["speedup_vs_seed"] = None
@@ -223,7 +263,7 @@ def check_bars(payload: dict) -> None:
     but not enforced.
     """
     assert payload["engines_agree"], (
-        "reference and calendar engines diverged: "
+        "flit engines diverged: "
         + ", ".join(f"{e['engine']}={e['digest'][:12]}" for e in payload["series"])
     )
     if payload["scale"] != "smoke":
@@ -231,6 +271,10 @@ def check_bars(payload: dict) -> None:
     assert payload["calendar_speedup_vs_reference"] >= MIN_ENGINE_SPEEDUP, (
         f"calendar engine regressed vs reference: "
         f"{payload['calendar_speedup_vs_reference']:.2f}x < {MIN_ENGINE_SPEEDUP}x"
+    )
+    assert payload["batch_speedup_vs_calendar"] >= MIN_BATCH_SPEEDUP, (
+        f"batch engine regressed vs calendar: "
+        f"{payload['batch_speedup_vs_calendar']:.2f}x < {MIN_BATCH_SPEEDUP}x"
     )
     if payload["speedup_vs_seed"] is not None:
         assert payload["speedup_vs_seed"] >= MIN_SEED_SPEEDUP, (
@@ -258,6 +302,10 @@ def _render(payload: dict) -> str:
     lines.append(
         f"  calendar speedup vs reference: "
         f"{payload['calendar_speedup_vs_reference']:.2f}x"
+    )
+    lines.append(
+        f"  batch speedup vs calendar: "
+        f"{payload['batch_speedup_vs_calendar']:.2f}x"
     )
     seed = payload["seed"]
     if seed is not None:

@@ -253,6 +253,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "'repro campaign trace', aggregate with 'status --timings'); "
         "propagates to pool and distributed workers via REPRO_TELEMETRY",
     )
+    from repro.sim.engine import SIM_ENGINE_KINDS
+
+    run.add_argument(
+        "--sim-engine",
+        choices=SIM_ENGINE_KINDS,
+        default=None,
+        help="flit-backend simulation engine (default: REPRO_SIM_ENGINE or "
+        "'calendar'); engines are event-for-event equivalent, so results "
+        "and cache keys do not change — this is a performance knob; "
+        "propagates to pool and distributed workers via REPRO_SIM_ENGINE",
+    )
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.add_argument("--tag", default=None, help="only scenarios with this tag")
@@ -620,6 +631,13 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
 
         os.environ[TELEMETRY_ENV_VAR] = "1"
         telemetry_enable()
+    if args.sim_engine is not None:
+        # Same propagation story as --trace: the environment covers this
+        # process and forked pool workers; DistOptions.sim_engine (below)
+        # re-asserts it for spawned dist workers.
+        from repro.sim.engine import SIM_ENGINE_ENV_VAR
+
+        os.environ[SIM_ENGINE_ENV_VAR] = args.sim_engine
     store = None if args.no_store else ArtifactStore(args.store)
     # Audits alone need no router — they sample the plan at execute time.
     router = None
@@ -710,6 +728,7 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                 bind_host=host,
                 bind_port=port,
                 lease_timeout_s=args.lease_timeout,
+                sim_engine=args.sim_engine,
             )
         except ValueError as exc:
             parser.error(str(exc))

@@ -100,12 +100,25 @@ class FlitCostModel(CostModel):
 
     backend_name = "flit"
 
-    #: Work units charged per *predicted* event.  The prediction below
-    #: (flits x hops) tracks the pre-coalescing engine; since the
-    #: event-coalesced credit flow and calendar scheduler, the flit backend
-    #: executes ~1.7x fewer simulator events than the product suggests and
-    #: finishes ~1.6x faster end to end (see BENCH_flit_engine.json), so
-    #: each predicted unit is re-weighted accordingly.
+    #: Work units charged per *predicted* event, by simulation engine.  The
+    #: prediction below (flits x hops) tracks the pre-coalescing engine;
+    #: since the event-coalesced credit flow and calendar scheduler, the
+    #: flit backend executes ~1.7x fewer simulator events than the product
+    #: suggests and finishes ~1.6x faster end to end, so each predicted
+    #: unit is re-weighted accordingly.  The batch engine runs the same
+    #: events through the fused network plane ~1.1x faster still (both
+    #: ratios from BENCH_flit_engine.json), so a run that selects it is
+    #: charged proportionally less — ``backend="auto"`` routing and
+    #: ``--budget`` admission then reflect the engine the run will really
+    #: use.  ``reference`` shares the calendar weight: its ~5% scheduler
+    #: overhead is below the noise floor of these planning proxies.
+    engine_unit_cost: ClassVar[Dict[str, float]] = {
+        "calendar": 0.6,
+        "reference": 0.6,
+        "batch": 0.55,
+    }
+
+    #: Backward-compatible default weight (the default engine's).
     unit_cost: ClassVar[float] = 0.6
 
     #: Response-path events relative to request-path events (single-flit
@@ -113,17 +126,23 @@ class FlitCostModel(CostModel):
     response_factor: ClassVar[float] = 0.25
 
     def estimate_cost(self, profile: WorkloadProfile) -> CostEstimate:
+        from repro.sim.engine import effective_engine_kind
+
+        unit_cost = self.engine_unit_cost.get(
+            effective_engine_kind(), self.unit_cost
+        )
         hops = profile.avg_hops + 2.0  # + injection and ejection NIC links
         request_events = profile.messages * profile.flits_per_message * hops
         events = request_events * (1.0 + self.response_factor)
         return CostEstimate(
             backend=self.backend_name,
-            work=events * self.unit_cost,
+            work=events * unit_cost,
             detail={
                 "events": events,
                 "hops": hops,
                 "messages": profile.messages,
                 "flits_per_message": profile.flits_per_message,
+                "unit_cost": unit_cost,
             },
         )
 

@@ -1,0 +1,527 @@
+"""Fused network fast path for the ``batch`` flit engine.
+
+PR 7's profile showed that with the calendar scheduler in place, event
+*dispatch* is cheap and the remaining wall-clock lives in the per-packet
+Python work between events: every link traversal walks a five-deep chain
+of bound-method calls (``enqueue → _try_send → _send_head → schedule →
+_transmit_done/_arrive → Router.packet_arrived → next enqueue``), and the
+UGAL probe pays attribute/property dispatch per candidate.  Dense
+per-cycle NumPy stepping does not help here — measured traffic is sparse
+(~0.17 sends per cycle at smoke scale), so touching every link every
+cycle does strictly more work than the event-driven plan and cannot
+preserve the intra-cycle decision order the parity contract needs.
+
+The batch engine therefore keeps the event-driven plan and *fuses* it:
+
+* :class:`BatchLink` rebinds its interned event callbacks to the
+  module-level handlers below with :class:`types.MethodType` — still one
+  preallocated bound callable per link (zero per-event allocation), but
+  each event now runs a single fused frame with local-variable state
+  instead of a method chain;
+* arrivals dispatch straight into an inlined copy of
+  ``Router.packet_arrived`` / ``Nic.packet_ejected`` (including response
+  recycling and counter updates) and forward by calling the fused enqueue
+  on the next link directly;
+* serialization tables are NumPy-precomputed per link instead of filled
+  lazily per distinct packet size.
+
+Every handler is a statement-for-statement transcription of the
+``reference``/``calendar`` object plane (``link.py``, ``router.py``,
+``nic.py``): same state mutations in the same order, same schedule sites
+with the same delays, same ``schedule``/``schedule_call`` split.  The
+batch engine is therefore event-for-event deterministic with the other
+engines — identical ``events_executed``, timelines, counters, decisions
+and store bytes — which the three-engine equivalence suite in
+``tests/test_flit_engine.py`` asserts, dict-for-dict.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from types import MethodType
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.router import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.nic import Nic
+    from repro.network.router import Router
+
+#: Packet sizes (in flits) covered by the precomputed serialization table.
+#: Real packets are <= (header + payload) flits — far below this — but the
+#: fused send path still falls back to the exact formula beyond the table.
+_SER_TABLE_FLITS = 256
+
+
+def _build_ser_list(width: int, cycles_per_flit: int) -> list:
+    """Precompute ``flits -> serialization cycles`` for one link shape.
+
+    Matches ``max(1, ceil(flits / width) * cycles_per_flit)`` exactly; kept
+    as a plain Python list because the fused send path indexes it with a
+    scalar (a list index is faster than a NumPy scalar extraction).
+    """
+    flits = np.arange(_SER_TABLE_FLITS, dtype=np.int64)
+    ser = np.maximum(1, -(-flits // width) * cycles_per_flit)
+    return [int(v) for v in ser]
+
+
+# -- fused event handlers ------------------------------------------------------
+#
+# Each function takes the BatchLink as its first argument (they are bound to
+# links with MethodType, so from the scheduler's point of view they are the
+# same zero-allocation interned callbacks the calendar engine uses).  Bodies
+# are transcribed from Link/Router/Nic — comments there explain the physics;
+# comments here only mark what was inlined from where.
+
+
+def _do_enqueue(link, packet):
+    # Link.enqueue, with the retry schedule landing directly in the calendar
+    # bucket (the delay is a positive integer by construction, so the
+    # schedule_call validation/rounding is dead weight here).
+    now = link.sim._now
+    packet.last_enqueue_time = now
+    queue = link.queue
+    if queue:  # deeper queue: the pending retry/arrival will drain it
+        queue.append(packet)
+        link.queue_flits += packet.flits
+        return
+    queue.append(packet)
+    link.queue_flits += packet.flits
+    if link.busy_until > now:
+        if not link._retry_scheduled:
+            link._retry_scheduled = True
+            sim = link.sim
+            time = link.busy_until
+            buckets = sim._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [link._retry_cb, ()]
+                heappush(sim._times, time)
+            else:
+                bucket.append(link._retry_cb)
+                bucket.append(())
+            sim._live_events += 1
+        return
+    _pump(link, now)
+
+
+def _do_return_credits(link, flits):
+    # Link.return_credits
+    arrivals = link._credit_arrivals
+    arrival = link.sim._now + link.latency
+    if arrivals:
+        last = arrivals[-1]
+        if last[0] == arrival:
+            last[1] += flits
+        else:
+            arrivals.append([arrival, flits])
+    else:
+        arrivals.append([arrival, flits])
+    if link._stalled_since is not None and not link._wake_scheduled:
+        link._wake_scheduled = True
+        link._schedule_call(arrivals[0][0] - link.sim._now, link._credit_wake_cb)
+
+
+def _do_settle_credits(link, now):
+    # Link._settle_credits
+    arrivals = link._credit_arrivals
+    first = arrivals[0]
+    if first[0] > now:
+        return
+    credits = link.credits
+    capacity = link.capacity
+    track = link._track_occupancy
+    hist = link._occ_history
+    returned = 0
+    while True:
+        t = first[0]
+        credits += first[1]
+        returned += first[1]
+        arrivals.popleft()
+        if track:
+            if hist and hist[-1][0] == t:
+                hist[-1] = (t, capacity - credits)
+            else:
+                hist.append((t, capacity - credits))
+        if not arrivals:
+            break
+        first = arrivals[0]
+        if first[0] > now:
+            break
+    link.credits = credits
+    link.credits_returned += returned
+    if credits > capacity:
+        raise RuntimeError(f"{link.name}: credit overflow ({credits}/{capacity})")
+    if track and len(hist) > 4096:
+        for _ in range(2048):
+            link._occ_delayed_value = hist.popleft()[1]
+
+
+def _do_credit_wake(link):
+    # Link._credit_wake
+    link._wake_scheduled = False
+    _pump(link, link.sim._now)
+
+
+def _do_retry(link):
+    # Link._retry
+    link._retry_scheduled = False
+    _pump(link, link.sim._now)
+
+
+def _do_try_send(link):
+    # Link._try_send
+    _pump(link, link.sim._now)
+
+
+def _pump(link, now):
+    """Fused ``Link._try_send`` + ``Link._send_head(borrow=False)``.
+
+    One stack frame for the entire happy path of a link send, with the
+    calendar-bucket append inlined (every delay scheduled here is a
+    non-negative integer, making schedule_call's validation and float
+    rounding dead weight).  The credit-stalled and escape-valve branches
+    are rare and stay in :func:`_stall_head` / :func:`_do_send_head`.
+    """
+    queue = link.queue
+    if not queue:
+        return
+    if link.busy_until > now:
+        if not link._retry_scheduled:
+            link._retry_scheduled = True
+            sim = link.sim
+            time = link.busy_until
+            buckets = sim._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [link._retry_cb, ()]
+                heappush(sim._times, time)
+            else:
+                bucket.append(link._retry_cb)
+                bucket.append(())
+            sim._live_events += 1
+        return
+    packet = queue[0]
+    arrivals = link._credit_arrivals
+    if arrivals and arrivals[0][0] <= now:
+        _do_settle_credits(link, now)
+    flits = packet.flits
+    credits = link.credits
+    if credits < flits:
+        _stall_head(link, now, arrivals)
+        return
+    # ---- Link._send_head(borrow=False), fused ------------------------------
+    queue.popleft()
+    link.queue_flits -= flits
+    link.queue_wait_cycles += now - packet.last_enqueue_time
+    link._stalled_since = None
+    relief = link._relief_event
+    if relief is not None:
+        relief.cancel()
+        link._relief_event = None
+    on_transmit = link.on_transmit
+    if on_transmit is not None:
+        # The routing hook probes *fabric* links only, never this (host)
+        # link, so the local credit copy cannot go stale across the call.
+        on_transmit(packet)
+    if link.measure_stalls:
+        stall_start = link._stall_start
+        if stall_start is not None:
+            stalled = now - stall_start
+            link._stall_start = None
+            if stalled > 0 and link.on_stall is not None:
+                link.on_stall(stalled, packet)
+        if packet.inject_start_time is None:
+            packet.inject_start_time = now
+    credits -= flits
+    link.credits = credits
+    if link._track_occupancy:
+        hist = link._occ_history
+        if hist and hist[-1][0] == now:
+            hist[-1] = (now, link.capacity - credits)
+        else:
+            hist.append((now, link.capacity - credits))
+            if len(hist) > 4096:
+                for _ in range(2048):
+                    link._occ_delayed_value = hist.popleft()[1]
+    previous = packet.holding_link
+    packet.holding_link = link
+    if previous is not None:
+        _do_return_credits(previous, flits)
+    if flits < _SER_TABLE_FLITS:
+        serialization = link._ser_list[flits]
+    else:
+        serialization = max(1, -(-flits // link.width) * link.cycles_per_flit)
+    link.busy_until = now + serialization
+    link.packets_forwarded += 1
+    link.flits_forwarded += flits
+    if queue and not link._retry_scheduled:
+        link._retry_scheduled = True
+        time = now + serialization
+        fn = link._transmit_done_cb
+        args = (packet,)
+    else:
+        time = now + serialization + link.latency
+        fn = link._arrive_cb
+        args = (packet, link)
+    sim = link.sim
+    buckets = sim._buckets
+    bucket = buckets.get(time)
+    if bucket is None:
+        buckets[time] = [fn, args]
+        heappush(sim._times, time)
+    else:
+        bucket.append(fn)
+        bucket.append(args)
+    sim._live_events += 1
+
+
+def _stall_head(link, now, arrivals):
+    # Link._try_send, credit-stalled branch (head-of-line blocking).
+    if link._stalled_since is None:
+        link._stalled_since = now
+        link._relief_event = link.sim.schedule(
+            link.deadlock_timeout + 1, link._try_send
+        )
+    if link.measure_stalls and link._stall_start is None:
+        link._stall_start = now
+    if arrivals and not link._wake_scheduled:
+        link._wake_scheduled = True
+        link._schedule_call(arrivals[0][0] - now, link._credit_wake_cb)
+    if now - link._stalled_since >= link.deadlock_timeout:
+        link.deadlock_reliefs += 1
+        _do_send_head(link, True)
+
+
+def _do_send_head(link, borrow):
+    # Link._send_head
+    now = link.sim._now
+    packet = link.queue.popleft()
+    flits = packet.flits
+    link.queue_flits -= flits
+    link.queue_wait_cycles += now - packet.last_enqueue_time
+    link._stalled_since = None
+    relief = link._relief_event
+    if relief is not None:
+        relief.cancel()
+        link._relief_event = None
+    on_transmit = link.on_transmit
+    if on_transmit is not None:
+        on_transmit(packet)
+    if link.measure_stalls:
+        stall_start = link._stall_start
+        if stall_start is not None:
+            stalled = now - stall_start
+            link._stall_start = None
+            if stalled > 0 and link.on_stall is not None:
+                link.on_stall(stalled, packet)
+        if packet.inject_start_time is None:
+            packet.inject_start_time = now
+    credits = link.credits - flits
+    link.credits = credits
+    if link._track_occupancy:
+        hist = link._occ_history
+        if hist and hist[-1][0] == now:
+            hist[-1] = (now, link.capacity - credits)
+        else:
+            hist.append((now, link.capacity - credits))
+            if len(hist) > 4096:
+                for _ in range(2048):
+                    link._occ_delayed_value = hist.popleft()[1]
+    previous = packet.holding_link
+    packet.holding_link = link
+    if previous is not None:
+        _do_return_credits(previous, flits)
+    if flits < _SER_TABLE_FLITS:
+        serialization = link._ser_list[flits]
+    else:
+        serialization = max(1, -(-flits // link.width) * link.cycles_per_flit)
+    link.busy_until = now + serialization
+    link.packets_forwarded += 1
+    link.flits_forwarded += flits
+    if link.queue and not link._retry_scheduled:
+        link._retry_scheduled = True
+        link._schedule_call(serialization, link._transmit_done_cb, packet)
+    else:
+        link._schedule_call(
+            serialization + link.latency, link._arrive_cb, packet, link
+        )
+
+
+def _do_transmit_done(link, packet):
+    # Link._transmit_done, with the arrival schedule inlined.
+    sim = link.sim
+    now = sim._now
+    time = now + link.latency
+    buckets = sim._buckets
+    bucket = buckets.get(time)
+    if bucket is None:
+        buckets[time] = [link._arrive_cb, (packet, link)]
+        heappush(sim._times, time)
+    else:
+        bucket.append(link._arrive_cb)
+        bucket.append((packet, link))
+    sim._live_events += 1
+    link._retry_scheduled = False
+    _pump(link, now)
+
+
+def _do_arrive_router(link, packet, _via):
+    # Router.packet_arrived, with the forward landing directly in the fused
+    # enqueue of the next BatchLink (no Router method dispatch per hop).
+    router = link.dst_router
+    router.flits_traversed += packet.flits
+    router.packets_traversed += 1
+    path = packet.path
+    hop = packet.hop_index
+    try:
+        here_ok = path[hop] == router.router_id
+    except (TypeError, IndexError):
+        here_ok = False
+    if not here_ok:
+        if path is None:
+            raise RoutingError(
+                f"packet {packet.id} arrived at router without a path"
+            )
+        raise RoutingError(
+            f"packet {packet.id} arrived at router {router.router_id} but its path "
+            f"expects {path[hop] if hop < len(path) else '<end>'}"
+        )
+    hop += 1
+    if hop == len(path):
+        try:
+            ejection = router.ejection_links[packet.dst_node]
+        except KeyError:
+            raise RoutingError(
+                f"router {router.router_id} does not serve node {packet.dst_node}"
+            ) from None
+        _do_enqueue(ejection, packet)
+        return
+    packet.hop_index = hop
+    try:
+        next_link = router.output_links[path[hop]]
+    except KeyError:
+        raise RoutingError(
+            f"router {router.router_id} has no link to {path[hop]} "
+            f"(path {path})"
+        ) from None
+    _do_enqueue(next_link, packet)
+
+
+def _do_arrive_nic(link, packet, _via):
+    # Nic.packet_ejected + _request_received/_response_received, with the
+    # NicCounters updates inlined (validation elided: latencies and stall
+    # spans are non-negative by construction on this path).
+    _do_return_credits(link, packet.flits)
+    packet.holding_link = None
+    nic = link.dst_nic
+    message = packet.message
+    if packet.is_response:
+        # Nic._response_received
+        message.packets_acked += 1
+        nic.outstanding -= 1
+        if packet.request_inject_start is not None:
+            counters = nic.counters
+            counters.responses_received += 1
+            counters.request_packets_cum_latency += (
+                link.sim._now - packet.request_inject_start
+            )
+        if message.packets_acked == message.num_packets:
+            message.acked_time = link.sim._now
+            if message.on_acked is not None:
+                message.on_acked(message)
+        nic._pump()
+        return
+    # Nic._request_received
+    message.packets_delivered += 1
+    if message.packets_delivered == message.num_packets:
+        message.delivered_time = link.sim._now
+        nic.messages_received += 1
+        if nic.on_message_delivered is not None:
+            nic.on_message_delivered(message)
+        if message.on_delivered is not None:
+            message.on_delivered(message)
+    injection = nic.injection_link
+    if injection is None:
+        raise RuntimeError(f"NIC {nic.node_id} is not wired to a router")
+    if packet.index_in_message < message.full_packets:
+        flits = message.resp_flits_full
+    else:
+        flits = message.resp_flits_tail
+    packet.dst_node = packet.src_node
+    packet.src_node = nic.node_id
+    packet.flits = flits
+    packet.is_response = True
+    packet.path = None
+    packet.hop_index = 0
+    packet.request_inject_start = packet.inject_start_time
+    _do_enqueue(injection, packet)
+
+
+class BatchLink(Link):
+    """A :class:`Link` whose event callbacks run the fused handlers.
+
+    Construction is identical to ``Link``; the Network builder then calls
+    :meth:`bind_router` or :meth:`bind_nic` to attach the downstream
+    element, which selects the fused arrival handler.  Method overrides
+    keep every external entry point (NIC injection, probes, tests, the
+    relief-valve event) on the fused core so there is exactly one
+    implementation of the semantics per engine plane.
+    """
+
+    __slots__ = ("dst_router", "dst_nic", "_ser_list")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dst_router = None
+        self.dst_nic = None
+        self._ser_list = _build_ser_list(self.width, self.cycles_per_flit)
+        # Rebind the interned callbacks to the fused handlers: still one
+        # preallocated bound callable per link, zero per-event allocation.
+        self._retry_cb = MethodType(_do_retry, self)
+        self._credit_wake_cb = MethodType(_do_credit_wake, self)
+        self._transmit_done_cb = MethodType(_do_transmit_done, self)
+        # _arrive_cb keeps the constructor-provided delivery callback until
+        # bind_router()/bind_nic() swaps in a fused arrival handler.
+
+    # -- wiring (performed by the Network builder) ---------------------------
+
+    def bind_router(self, router: "Router") -> None:
+        """Attach the downstream router; arrivals use the fused forwarder."""
+        self.dst_router = router
+        self._arrive_cb = MethodType(_do_arrive_router, self)
+
+    def bind_nic(self, nic: "Nic") -> None:
+        """Attach the downstream NIC; arrivals use the fused ejector."""
+        self.dst_nic = nic
+        self._arrive_cb = MethodType(_do_arrive_nic, self)
+
+    # -- delegators ----------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        _do_enqueue(self, packet)
+
+    def return_credits(self, flits: int) -> None:
+        _do_return_credits(self, flits)
+
+    def _settle_credits(self, now: int) -> None:
+        _do_settle_credits(self, now)
+
+    def _credit_wake(self) -> None:
+        _do_credit_wake(self)
+
+    def _retry(self) -> None:
+        _do_retry(self)
+
+    def _try_send(self) -> None:
+        _do_try_send(self)
+
+    def _send_head(self, borrow: bool) -> None:
+        _do_send_head(self, borrow)
+
+    def _transmit_done(self, packet: Packet) -> None:
+        _do_transmit_done(self, packet)

@@ -1,6 +1,6 @@
 """Discrete-event simulation engines used by the network model.
 
-Two interchangeable engines implement the same (time, scheduling-order)
+Three interchangeable engines implement the same (time, scheduling-order)
 execution contract with callback-style events:
 
 * ``reference`` — the original binary-heap queue keyed by (time, sequence
@@ -8,15 +8,20 @@ execution contract with callback-style events:
 * ``calendar`` — per-cycle FIFO buckets with a heap of distinct times,
   the default (a flit simulation lands whole groups of callbacks on the
   same cycle, so this does one heap operation per *time* instead of per
-  event).
+  event);
+* ``batch`` — the calendar scheduler plus a fused network fast path
+  (NumPy-precomputed serialization tables, one-frame-per-hop link/router/
+  NIC handlers, vectorized UGAL candidate scoring); requires NumPy and
+  falls back to ``calendar`` with a warning when it is missing.
 
-Select with ``REPRO_SIM_ENGINE=reference|calendar`` or
+Select with ``REPRO_SIM_ENGINE=reference|calendar|batch`` or
 :func:`make_simulator`.  Everything in the network model (link traversal,
 credit returns, NIC injection) is expressed as scheduled callbacks, which
 keeps the per-event overhead low — important because a single
 large-message experiment schedules hundreds of thousands of events.
 """
 
+from repro.sim.batch import BatchSimulator
 from repro.sim.calendar import CalendarSimulator
 from repro.sim.engine import (
     SIM_ENGINE_ENV_VAR,
@@ -25,6 +30,7 @@ from repro.sim.engine import (
     SimEngineError,
     Simulator,
     default_engine_kind,
+    effective_engine_kind,
     make_simulator,
 )
 from repro.sim.rng import RandomStreams
@@ -33,10 +39,12 @@ __all__ = [
     "Event",
     "Simulator",
     "CalendarSimulator",
+    "BatchSimulator",
     "RandomStreams",
     "SIM_ENGINE_ENV_VAR",
     "SIM_ENGINE_KINDS",
     "SimEngineError",
     "default_engine_kind",
+    "effective_engine_kind",
     "make_simulator",
 ]

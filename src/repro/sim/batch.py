@@ -1,0 +1,38 @@
+"""Batch flit engine: calendar scheduling plus a fused network fast path.
+
+:class:`BatchSimulator` *is* the calendar-queue scheduler — PR 7's profile
+showed that after the calendar move the scheduler is no longer where the
+time goes, so the batch engine inherits it unchanged and spends its budget
+where the cost actually is: the per-packet Python work between events.
+
+Selecting this engine (``REPRO_SIM_ENGINE=batch`` or
+``make_simulator("batch")``) switches the *network build*, not the event
+loop: :class:`~repro.network.network.Network` checks ``sim.engine_kind``
+and constructs :class:`~repro.network.batch_core.BatchLink` objects whose
+event callbacks are rebound to fused module-level handlers (one stack
+frame per hop instead of a five-call chain through link, router and NIC
+methods), NumPy-precomputed serialization tables, and a
+:class:`~repro.routing.ugal.BatchUgalSelector` with a fused congestion
+probe and a vectorized candidate scorer.
+
+Because every fused handler transcribes the object-plane semantics
+statement for statement — same state mutations, same schedule sites, same
+delays, same callback order — the batch engine is event-for-event
+deterministic with the ``calendar`` and ``reference`` engines, which is
+strictly stronger than the observable-state parity contract the
+equivalence suite asserts.
+
+The engine requires NumPy; :func:`repro.sim.engine.make_simulator` falls
+back to the calendar engine (with a structured-log warning) when NumPy is
+unavailable, mirroring the ``REPRO_FLOW_SOLVER`` fallback idiom.
+"""
+
+from __future__ import annotations
+
+from repro.sim.calendar import CalendarSimulator
+
+
+class BatchSimulator(CalendarSimulator):
+    """Calendar-queue scheduler marking the fused batch network plane."""
+
+    engine_kind = "batch"

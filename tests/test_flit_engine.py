@@ -1,18 +1,22 @@
 """Flit-engine suite: selection, calendar-queue semantics, and equivalence.
 
-Covers the ISSUE-7 checklist: engine selection via ``REPRO_SIM_ENGINE``,
-unit tests of the calendar-queue scheduler's ordering/cancel/resume
-semantics, a randomized reference-vs-calendar equivalence suite (seeded
-scenarios across routing modes and noise levels, asserting identical event
-counts, counter snapshots and message timelines — the flit analogue of
-``tests/test_flow_solver.py``), byte-identical campaign results across
-engines, and the ``queue_depth`` gauge on ``Simulator.run`` telemetry spans.
+Covers the ISSUE-7 and ISSUE-8 checklists: engine selection via
+``REPRO_SIM_ENGINE`` (including the batch engine's NumPy gate and
+fallback), unit tests of the calendar-queue scheduler's
+ordering/cancel/resume semantics, a randomized three-engine equivalence
+suite (seeded scenarios across routing modes and noise levels, asserting
+identical event counts, counter snapshots and message timelines — the flit
+analogue of ``tests/test_flow_solver.py``), byte-identical campaign
+results across engines, the batch selector's vectorized wide-decision
+path, and the ``queue_depth`` gauge on ``Simulator.run`` telemetry spans.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import importlib.util
 import json
+import logging
 import random
 
 import pytest
@@ -32,9 +36,17 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
     default_engine_kind,
+    effective_engine_kind,
     make_simulator,
 )
 from repro.telemetry import capture, disable, enable
+from repro.telemetry.log import reset_logging
+
+HAS_NUMPY = importlib.util.find_spec("numpy") is not None
+
+#: Engines whose construction is unconditional here (batch needs NumPy; it
+#: falls back to calendar without it, which would fail engine_kind asserts).
+ENGINES = SIM_ENGINE_KINDS if HAS_NUMPY else ("calendar", "reference")
 
 
 # -- engine selection ---------------------------------------------------------------
@@ -42,7 +54,7 @@ from repro.telemetry import capture, disable, enable
 
 class TestEngineSelection:
     def test_known_kinds(self):
-        assert set(SIM_ENGINE_KINDS) == {"calendar", "reference"}
+        assert set(SIM_ENGINE_KINDS) == {"calendar", "reference", "batch"}
 
     def test_default_is_calendar(self, monkeypatch):
         monkeypatch.delenv(SIM_ENGINE_ENV_VAR, raising=False)
@@ -76,6 +88,55 @@ class TestEngineSelection:
         assert Network(SimulationConfig.tiny()).sim.engine_kind == "reference"
         monkeypatch.setenv(SIM_ENGINE_ENV_VAR, "calendar")
         assert isinstance(Network(SimulationConfig.tiny()).sim, CalendarSimulator)
+
+    def test_batch_engine_selected(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.sim.batch import BatchSimulator
+
+        monkeypatch.setenv(SIM_ENGINE_ENV_VAR, "batch")
+        assert type(make_simulator()) is BatchSimulator
+        network = Network(SimulationConfig.tiny())
+        assert network.sim.engine_kind == "batch"
+        # The batch network plane is wired in: fused links and selector.
+        from repro.network.batch_core import BatchLink
+        from repro.routing.ugal import BatchUgalSelector
+
+        assert all(type(link) is BatchLink for link in network.fabric_links())
+        assert type(network.selector) is BatchUgalSelector
+
+    def test_explicit_sim_overrides_env(self, monkeypatch):
+        """``Network(sim=...)`` wins over REPRO_SIM_ENGINE."""
+        monkeypatch.setenv(SIM_ENGINE_ENV_VAR, "batch")
+        network = Network(SimulationConfig.tiny(), sim=make_simulator("reference"))
+        assert network.sim.engine_kind == "reference"
+        from repro.network.batch_core import BatchLink
+
+        assert not any(type(link) is BatchLink for link in network.fabric_links())
+
+    def test_batch_without_numpy_falls_back(self, monkeypatch, capsys):
+        """No NumPy: batch degrades to calendar with a structured warning.
+
+        Same idiom as the REPRO_FLOW_SOLVER vectorized/reference fallback —
+        the run proceeds on the equivalent engine, and the downgrade is
+        visible in the structured log rather than silent.
+        """
+        monkeypatch.setattr("repro.sim.engine._numpy_available", lambda: False)
+        reset_logging()
+        try:
+            sim = make_simulator("batch")
+        finally:
+            err = capsys.readouterr().err
+            reset_logging()
+        assert sim.engine_kind == "calendar"
+        assert "sim.engine.fallback" in err
+        assert "numpy-unavailable" in err
+        assert effective_engine_kind("batch") == "calendar"
+
+    def test_effective_engine_kind_resolves_env(self, monkeypatch):
+        monkeypatch.setenv(SIM_ENGINE_ENV_VAR, "reference")
+        assert effective_engine_kind() == "reference"
+        if HAS_NUMPY:
+            assert effective_engine_kind("batch") == "batch"
 
 
 # -- calendar-queue scheduler semantics ---------------------------------------------
@@ -348,24 +409,30 @@ def _run_scenario(engine: str, seed: int) -> dict:
     }
 
 
-class TestReferenceCalendarEquivalence:
-    """Event-for-event parity between the two engines on real traffic.
+class TestEngineEquivalence:
+    """Event-for-event parity between all engines on real traffic.
 
     24 seeded scenarios spanning routing modes, message sizes, send
-    schedules and noise levels; everything observable must match exactly.
+    schedules and noise levels; everything observable must match exactly,
+    pairwise across every engine.  The batch engine is held to *more* than
+    its contract (observable-state equality): its fused plane is a
+    statement-for-statement transcription, so even the event counts match.
     """
 
     @pytest.mark.parametrize("seed", range(24))
     def test_equivalent_scenario(self, seed):
-        reference = _run_scenario("reference", seed)
-        calendar = _run_scenario("calendar", seed)
-        assert reference.pop("engine_kind") == "reference"
-        assert calendar.pop("engine_kind") == "calendar"
-        assert reference == calendar
+        results = {}
+        for engine in ENGINES:
+            result = _run_scenario(engine, seed)
+            assert result.pop("engine_kind") == engine
+            results[engine] = result
+        baseline = results["reference"]
+        for engine, result in results.items():
+            assert result == baseline, f"{engine} diverged from reference"
 
 
 class TestRunSpecStoreEquivalence:
-    """A campaign cell produces byte-identical results under both engines."""
+    """A campaign cell produces byte-identical results under every engine."""
 
     SPEC = {
         "scenario": "pingpong-placement",
@@ -380,13 +447,68 @@ class TestRunSpecStoreEquivalence:
         return payload
 
     def test_identical_store_payloads(self, monkeypatch):
+        # Deliberately SIM_ENGINE_KINDS, not ENGINES: without NumPy the
+        # batch run falls back to calendar, whose bytes must still match.
         blobs = {
             engine: json.dumps(
                 self._payload(monkeypatch, engine), sort_keys=True
             ).encode()
             for engine in SIM_ENGINE_KINDS
         }
-        assert blobs["reference"] == blobs["calendar"]
+        assert len(set(blobs.values())) == 1, (
+            "store payloads diverged across engines: "
+            + ", ".join(sorted(blobs))
+        )
+
+
+class TestVectorizedWideDecisions:
+    """Wide candidate sets route through the NumPy scoring entry point."""
+
+    def _run_wide(self, engine: str) -> dict:
+        config = SimulationConfig.small(seed=77).with_routing(
+            minimal_candidates=4, nonminimal_candidates=4
+        )
+        network = Network(config, sim=make_simulator(engine))
+        rng = random.Random(909)
+        messages = []
+        clock = 0
+        for _ in range(8):
+            clock += rng.randrange(0, 2000)
+            src = rng.randrange(network.num_nodes)
+            dst = (src + rng.randrange(1, network.num_nodes)) % network.num_nodes
+            network.run(until=clock)
+            messages.append(
+                network.send(src, dst, 4096, routing_mode=RoutingMode.ADAPTIVE_1)
+            )
+        network.run_until_idle()
+        selector = network.selector
+        return {
+            "events": network.sim.events_executed,
+            "timelines": [
+                (m.submit_time, m.delivered_time, m.acked_time) for m in messages
+            ],
+            "routing": [
+                (m.minimal_packets, m.nonminimal_packets) for m in messages
+            ],
+            "decisions": (selector.decisions, selector.minimal_decisions),
+        }
+
+    def test_wide_decisions_are_vectorized_and_equivalent(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.routing.ugal import VECTORIZE_MIN_CANDIDATES, BatchUgalSelector
+
+        assert 4 + 4 >= VECTORIZE_MIN_CANDIDATES
+        calls = {"n": 0}
+        original = BatchUgalSelector._select_vectorized
+
+        def spy(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(BatchUgalSelector, "_select_vectorized", spy)
+        batch = self._run_wide("batch")
+        assert calls["n"] > 0, "batch selector never took the vectorized path"
+        assert batch == self._run_wide("reference")
 
 
 # -- telemetry: queue_depth on sim.run spans ----------------------------------------
