@@ -1,0 +1,148 @@
+"""Cluster-trace replay throughput and determinism on the flow backend.
+
+Replays a seeded synthetic multi-tenant trace (hundreds of jobs arriving,
+queueing and departing) on a 1056-node Dragonfly flow model and reports
+jobs replayed per second.  The replay runs twice on fresh networks and the
+SHA-256 digest of the canonical per-job rows must match — the determinism
+contract the campaign cache and the serial/parallel/distributed execution
+paths all lean on.  A JSON artifact goes to
+``benchmarks/results/BENCH_cluster_trace.json``::
+
+    python benchmarks/bench_cluster_trace.py            # 200-job trace
+    python benchmarks/bench_cluster_trace.py --smoke    # 32-job CI trace
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+if __package__ in (None, ""):  # `python benchmarks/bench_cluster_trace.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.cluster import ClusterScheduler, JobTrace
+from repro.config import SimulationConfig, TopologyConfig
+
+FULL_JOBS = 200
+SMOKE_JOBS = 32
+SEED = 7
+#: Conservative replay-throughput floor (jobs/s) on the 1056-node model.
+JOBS_PER_SEC_FLOOR = 1.0
+
+
+def _machine(seed: int = SEED) -> SimulationConfig:
+    """The 11-group, 1056-node flow-backend Dragonfly the sweeps use."""
+    return SimulationConfig(
+        topology=TopologyConfig(
+            num_groups=11,
+            chassis_per_group=6,
+            blades_per_chassis=4,
+            nodes_per_router=4,
+        ),
+        seed=seed,
+        backend="flow",
+    )
+
+
+def _replay_once(num_jobs: int) -> dict:
+    """One full replay on a fresh network; returns timing + rows digest."""
+    from repro.model.base import build_network_model
+
+    config = _machine()
+    network = build_network_model(config)
+    trace = JobTrace.synthetic(SEED, num_jobs, load="heavy", max_nodes=32)
+    scheduler = ClusterScheduler(network, trace)
+    start = time.perf_counter()
+    result = scheduler.replay()
+    elapsed = time.perf_counter() - start
+    rows = result.job_rows()
+    digest = hashlib.sha256(
+        json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "jobs_per_sec": round(num_jobs / elapsed, 3),
+        "makespan_cycles": result.makespan,
+        "max_wait_cycles": max((r.wait_time or 0) for r in result.records),
+        "digest": digest,
+    }
+
+
+def measure_replay(num_jobs: int) -> dict:
+    """Replay the trace twice; both runs must produce identical rows."""
+    first = _replay_once(num_jobs)
+    second = _replay_once(num_jobs)
+    return {
+        "benchmark": "cluster_trace",
+        "backend": "flow",
+        "nodes": 1056,
+        "jobs": num_jobs,
+        "seed": SEED,
+        "load": "heavy",
+        "jobs_per_sec_floor": JOBS_PER_SEC_FLOOR,
+        "deterministic": first["digest"] == second["digest"],
+        "digest": first["digest"],
+        "series": [first, second],
+    }
+
+
+def check_bars(payload: dict) -> None:
+    """Determinism is mandatory; throughput has a conservative floor."""
+    assert payload["deterministic"], (
+        "cluster replay diverged between two identical runs: "
+        f"{payload['series'][0]['digest']} vs {payload['series'][1]['digest']}"
+    )
+    slowest = min(entry["jobs_per_sec"] for entry in payload["series"])
+    assert slowest >= JOBS_PER_SEC_FLOOR, (
+        f"cluster replay regressed: {slowest} jobs/s "
+        f"(floor: {JOBS_PER_SEC_FLOOR} jobs/s on {payload['nodes']} nodes)"
+    )
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_cluster_trace.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        f"cluster-trace replay ({payload['jobs']} jobs, {payload['nodes']} "
+        f"nodes, {payload['backend']} backend)"
+    ]
+    for i, entry in enumerate(payload["series"]):
+        lines.append(
+            f"  run {i}: {entry['jobs_per_sec']:.2f} jobs/s "
+            f"({entry['elapsed_s']:.2f} s, makespan "
+            f"{entry['makespan_cycles']} cycles)"
+        )
+    lines.append(
+        f"  deterministic: {payload['deterministic']} "
+        f"(digest {payload['digest'][:16]})"
+    )
+    return "\n".join(lines)
+
+
+def test_cluster_trace_replay(benchmark, results_dir, scale):
+    """Replay throughput + determinism digest; BENCH JSON emitted."""
+    num_jobs = SMOKE_JOBS if scale.name == "smoke" else FULL_JOBS
+    payload = benchmark.pedantic(
+        measure_replay, args=(num_jobs,), rounds=1, iterations=1
+    )
+    _write_json(payload, results_dir)
+    emit(results_dir, "cluster_trace", _render(payload))
+    check_bars(payload)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = measure_replay(SMOKE_JOBS if smoke else FULL_JOBS)
+    path = _write_json(payload, RESULTS_DIR)
+    print(_render(payload))
+    print(f"wrote {path}")
+    check_bars(payload)

@@ -15,6 +15,8 @@ shapes used throughout the evaluation:
 from repro.allocation.job import JobAllocation
 from repro.allocation.policies import (
     AllocationPolicy,
+    MachineFullError,
+    allocate,
     allocate_contiguous,
     allocate_inter_blade_pair,
     allocate_inter_chassis_pair,
@@ -27,6 +29,8 @@ from repro.allocation.policies import (
 __all__ = [
     "JobAllocation",
     "AllocationPolicy",
+    "MachineFullError",
+    "allocate",
     "allocate_contiguous",
     "allocate_scattered",
     "allocate_round_robin_groups",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.config import TopologyConfig
 from repro.allocation.job import JobAllocation
@@ -25,6 +25,36 @@ class AllocationPolicy(str, Enum):
     CONTIGUOUS = "contiguous"
     ROUND_ROBIN_GROUPS = "round_robin_groups"
     SCATTERED = "scattered"
+
+
+class MachineFullError(ValueError):
+    """Raised when an allocation cannot be satisfied by the free nodes.
+
+    Distinct from a plain :class:`ValueError` (malformed request) so that a
+    scheduler admitting concurrent jobs can queue the job and retry when
+    nodes free up, instead of aborting the whole replay.
+    """
+
+    def __init__(self, policy: str, requested: int, free: int, total: int):
+        self.policy = policy
+        self.requested = requested
+        self.free = free
+        self.total = total
+        super().__init__(
+            f"{policy}: cannot allocate {requested} node(s) — {free} of "
+            f"{total} free"
+        )
+
+
+def _occupied_set(occupied: Sequence[int], topo: TopologyConfig) -> FrozenSet[int]:
+    """Validate and freeze an occupied-node view."""
+    taken = frozenset(int(n) for n in occupied)
+    for node in taken:
+        if not 0 <= node < topo.num_nodes:
+            raise ValueError(
+                f"occupied node {node} outside the {topo.num_nodes}-node system"
+            )
+    return taken
 
 
 # -- pair allocations (Figure 3) -----------------------------------------------
@@ -103,46 +133,85 @@ def figure3_allocations(topo: TopologyConfig) -> List[JobAllocation]:
 
 
 def allocate_contiguous(
-    topo: TopologyConfig, num_nodes: int, first_node: int = 0, name: str = "contiguous"
+    topo: TopologyConfig,
+    num_nodes: int,
+    first_node: int = 0,
+    name: str = "contiguous",
+    occupied: Sequence[int] = (),
 ) -> JobAllocation:
-    """``num_nodes`` consecutive nodes starting at ``first_node``."""
+    """``num_nodes`` consecutive *free* nodes, first-fit from ``first_node``.
+
+    With an empty ``occupied`` view this is the historical behaviour (the
+    run starting exactly at ``first_node``).  With nodes taken by other
+    jobs, the first gap of ``num_nodes`` consecutive free nodes at or after
+    ``first_node`` is used; :class:`MachineFullError` is raised when no
+    such gap exists.
+    """
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
-    if first_node + num_nodes > topo.num_nodes:
+    if not 0 <= first_node < max(topo.num_nodes, 1):
         raise ValueError(
-            f"allocation of {num_nodes} nodes starting at {first_node} exceeds the "
-            f"{topo.num_nodes}-node system"
+            f"first_node {first_node} outside the {topo.num_nodes}-node system"
         )
-    return JobAllocation.of(range(first_node, first_node + num_nodes), name=name)
+    taken = _occupied_set(occupied, topo)
+    if not taken:
+        if first_node + num_nodes > topo.num_nodes:
+            raise MachineFullError(
+                "contiguous", num_nodes, topo.num_nodes - first_node, topo.num_nodes
+            )
+        return JobAllocation.of(range(first_node, first_node + num_nodes), name=name)
+    run_start = None
+    run_len = 0
+    for node in range(first_node, topo.num_nodes):
+        if node in taken:
+            run_start, run_len = None, 0
+            continue
+        if run_start is None:
+            run_start = node
+        run_len += 1
+        if run_len == num_nodes:
+            return JobAllocation.of(range(run_start, run_start + num_nodes), name=name)
+    free = sum(1 for n in range(topo.num_nodes) if n not in taken)
+    raise MachineFullError("contiguous", num_nodes, free, topo.num_nodes)
 
 
 def allocate_round_robin_groups(
-    topo: TopologyConfig, num_nodes: int, name: str = "round-robin-groups"
+    topo: TopologyConfig,
+    num_nodes: int,
+    name: str = "round-robin-groups",
+    occupied: Sequence[int] = (),
 ) -> JobAllocation:
     """Spread nodes over groups round-robin (one node per group per turn).
 
     This is the "fragmented over many groups" shape the batch schedulers of
-    Piz Daint and Cori produce for large jobs.
+    Piz Daint and Cori produce for large jobs.  Nodes listed in
+    ``occupied`` are skipped (the round-robin order is preserved over the
+    remaining free nodes); :class:`MachineFullError` is raised when fewer
+    than ``num_nodes`` nodes are free.
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
-    if num_nodes > topo.num_nodes:
-        raise ValueError("not enough nodes in the system")
+    taken = _occupied_set(occupied, topo)
+    free_total = topo.num_nodes - len(taken)
+    if num_nodes > free_total:
+        raise MachineFullError(
+            "round-robin-groups", num_nodes, free_total, topo.num_nodes
+        )
     nodes: List[int] = []
     per_group = topo.routers_per_group * topo.nodes_per_router
     offset = 0
-    while len(nodes) < num_nodes:
+    while len(nodes) < num_nodes and offset < per_group:
         for group in range(topo.num_groups):
             if len(nodes) >= num_nodes:
                 break
             node = group * per_group + offset
-            if offset < per_group:
+            if node not in taken:
                 nodes.append(node)
         offset += 1
-        if offset >= per_group:
-            break
     if len(nodes) < num_nodes:
-        raise ValueError("system too small for the requested allocation")
+        raise MachineFullError(
+            "round-robin-groups", num_nodes, free_total, topo.num_nodes
+        )
     return JobAllocation.of(nodes, name=name)
 
 
@@ -152,20 +221,21 @@ def allocate_scattered(
     rng: random.Random,
     name: str = "scattered",
     exclude: Sequence[int] = (),
+    occupied: Sequence[int] = (),
 ) -> JobAllocation:
     """A uniformly random allocation (what a busy scheduler effectively does).
 
-    ``exclude`` lists nodes already taken by other jobs so that concurrently
-    allocated jobs never share nodes (they still share the network, which is
-    the whole point).
+    ``exclude`` and ``occupied`` both list nodes already taken by other
+    jobs so that concurrently allocated jobs never share nodes (they still
+    share the network, which is the whole point); the two are unioned —
+    ``occupied`` exists so every policy takes the same free-node view.
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
-    available = [n for n in range(topo.num_nodes) if n not in set(exclude)]
+    taken = set(exclude) | set(_occupied_set(occupied, topo))
+    available = [n for n in range(topo.num_nodes) if n not in taken]
     if num_nodes > len(available):
-        raise ValueError(
-            f"cannot scatter {num_nodes} nodes, only {len(available)} are free"
-        )
+        raise MachineFullError("scattered", num_nodes, len(available), topo.num_nodes)
     nodes = rng.sample(available, num_nodes)
     return JobAllocation.of(nodes, name=name)
 
@@ -176,14 +246,20 @@ def allocate(
     num_nodes: int,
     rng: Optional[random.Random] = None,
     exclude: Sequence[int] = (),
+    occupied: Sequence[int] = (),
 ) -> JobAllocation:
-    """Dispatch on an :class:`AllocationPolicy` value."""
+    """Dispatch on an :class:`AllocationPolicy` value.
+
+    ``occupied`` is the shared free-node view: nodes held by concurrently
+    running jobs, which no policy may reuse.  Every policy raises
+    :class:`MachineFullError` when the request does not fit the free nodes.
+    """
     if policy is AllocationPolicy.CONTIGUOUS:
-        return allocate_contiguous(topo, num_nodes)
+        return allocate_contiguous(topo, num_nodes, occupied=occupied)
     if policy is AllocationPolicy.ROUND_ROBIN_GROUPS:
-        return allocate_round_robin_groups(topo, num_nodes)
+        return allocate_round_robin_groups(topo, num_nodes, occupied=occupied)
     if policy is AllocationPolicy.SCATTERED:
         if rng is None:
             raise ValueError("scattered allocation requires an RNG")
-        return allocate_scattered(topo, num_nodes, rng, exclude=exclude)
+        return allocate_scattered(topo, num_nodes, rng, exclude=exclude, occupied=occupied)
     raise ValueError(f"unknown allocation policy {policy}")

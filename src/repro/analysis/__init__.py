@@ -16,8 +16,16 @@ from repro.analysis.noise_estimation import (
     relative_slowdown,
 )
 from repro.analysis.reporting import Table, format_table, normalize_series
+from repro.analysis.interference import (
+    format_interference,
+    interference_matrix,
+    store_interference_report,
+)
 
 __all__ = [
+    "format_interference",
+    "interference_matrix",
+    "store_interference_report",
     "BoxplotStats",
     "median",
     "quartiles",

@@ -1,0 +1,177 @@
+"""Workload-pair interference matrices from cluster-trace replays.
+
+The question the multi-tenant replay exists to answer: *which workload
+pairs hurt each other, under which routing mode?*  Given per-job rows (as
+produced by :meth:`repro.cluster.scheduler.ClusterResult.job_rows` and
+stored in every ``cluster-trace`` cell's ``data.jobs``), the matrix entry
+``M[a][b]`` is the overlap-weighted mean slowdown of workload-``a`` jobs
+while at least one workload-``b`` job was resident:
+
+* for each ``a``-job, the fraction of its runtime overlapped by the union
+  of concurrent ``b``-job intervals is its weight;
+* ``M[a][b] = sum(weight * slowdown) / sum(weight)`` over ``a``-jobs with
+  any overlap (empty cells render as ``-``).
+
+Sums (numerator/denominator) are exposed separately so matrices from many
+campaign cells can be pooled — :func:`store_interference_report` groups a
+store's cluster cells by routing mode and renders one pooled matrix per
+mode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import Table
+
+#: (victim workload, aggressor workload) -> [weighted slowdown sum, weight sum].
+InterferenceSums = Dict[Tuple[str, str], List[float]]
+
+
+def _intervals_by_workload(
+    rows: Sequence[Mapping],
+) -> Dict[str, List[Tuple[int, int, int]]]:
+    """Workload -> [(start, finish, job_id)] for rows with a full lifecycle."""
+    out: Dict[str, List[Tuple[int, int, int]]] = {}
+    for row in rows:
+        start, finish = row.get("start"), row.get("finish")
+        if start is None or finish is None or finish <= start:
+            continue
+        out.setdefault(str(row.get("workload", "?")), []).append(
+            (int(start), int(finish), int(row.get("job_id", -1)))
+        )
+    return out
+
+
+def _union_overlap(
+    window: Tuple[int, int], intervals: Sequence[Tuple[int, int, int]], skip_id: int
+) -> int:
+    """Cycles of ``window`` covered by the union of ``intervals``."""
+    lo, hi = window
+    clipped = sorted(
+        (max(lo, s), min(hi, f))
+        for s, f, jid in intervals
+        if jid != skip_id and f > lo and s < hi
+    )
+    covered = 0
+    cursor = lo
+    for s, f in clipped:
+        s = max(s, cursor)
+        if f > s:
+            covered += f - s
+            cursor = f
+    return covered
+
+
+def interference_sums(rows: Sequence[Mapping]) -> InterferenceSums:
+    """Accumulate overlap-weighted slowdown sums for one replay's rows."""
+    by_workload = _intervals_by_workload(rows)
+    sums: InterferenceSums = {}
+    for row in rows:
+        slowdown = row.get("slowdown")
+        start, finish = row.get("start"), row.get("finish")
+        if slowdown is None or start is None or finish is None or finish <= start:
+            continue
+        victim = str(row.get("workload", "?"))
+        job_id = int(row.get("job_id", -1))
+        runtime = int(finish) - int(start)
+        for aggressor, intervals in by_workload.items():
+            overlap = _union_overlap((int(start), int(finish)), intervals, job_id)
+            if overlap <= 0:
+                continue
+            weight = overlap / runtime
+            entry = sums.setdefault((victim, aggressor), [0.0, 0.0])
+            entry[0] += weight * float(slowdown)
+            entry[1] += weight
+    return sums
+
+
+def merge_sums(into: InterferenceSums, other: InterferenceSums) -> InterferenceSums:
+    """Pool a second replay's sums into ``into`` (returned for chaining)."""
+    for pair, (num, den) in other.items():
+        entry = into.setdefault(pair, [0.0, 0.0])
+        entry[0] += num
+        entry[1] += den
+    return into
+
+
+def matrix_from_sums(sums: InterferenceSums) -> Dict[str, Dict[str, float]]:
+    """Collapse pooled sums into the ``M[victim][aggressor]`` matrix."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for (victim, aggressor), (num, den) in sorted(sums.items()):
+        if den <= 0:
+            continue
+        matrix.setdefault(victim, {})[aggressor] = round(num / den, 6)
+    return matrix
+
+
+def interference_matrix(rows: Sequence[Mapping]) -> Dict[str, Dict[str, float]]:
+    """One replay's matrix: ``M[victim][aggressor]`` mean slowdown."""
+    return matrix_from_sums(interference_sums(rows))
+
+
+def format_interference(
+    matrix: Mapping[str, Mapping[str, float]],
+    title: str = "interference matrix (victim x aggressor, mean slowdown)",
+) -> str:
+    """Render the matrix as an aligned table (victims as rows)."""
+    workloads = sorted(set(matrix) | {a for row in matrix.values() for a in row})
+    if not workloads:
+        return f"{title}\n  (no overlapping jobs)"
+    table = Table(title=title, columns=["victim \\ aggressor"] + workloads)
+    for victim in workloads:
+        row = matrix.get(victim, {})
+        table.add_row(
+            victim,
+            *[
+                f"{row[a]:.3f}" if a in row else "-"
+                for a in workloads
+            ],
+        )
+    return table.render()
+
+
+def store_interference_report(store, scenario: str = "cluster-trace") -> Optional[str]:
+    """Pooled per-routing-mode matrices over a store's cluster cells.
+
+    Reads every index entry of the given scenario family, pools the
+    per-job rows of cells sharing a routing mode (the ``mode`` param), and
+    renders one matrix per mode.  Returns None when the store holds no
+    cluster cells with per-job data.
+    """
+    sums_by_mode: Dict[str, InterferenceSums] = {}
+    cells_by_mode: Dict[str, int] = {}
+    for entry in store.index().values():
+        if entry.get("scenario") != scenario:
+            continue
+        result_rel = entry.get("result")
+        if not result_rel:
+            continue
+        try:
+            payload = json.loads(
+                (store.root / str(result_rel)).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            continue
+        rows = (payload.get("data") or {}).get("jobs")
+        if not isinstance(rows, list) or not rows:
+            continue
+        mode = str((entry.get("params") or {}).get("mode", "?"))
+        merge_sums(sums_by_mode.setdefault(mode, {}), interference_sums(rows))
+        cells_by_mode[mode] = cells_by_mode.get(mode, 0) + 1
+    if not sums_by_mode:
+        return None
+    sections: List[str] = []
+    for mode in sorted(sums_by_mode):
+        matrix = matrix_from_sums(sums_by_mode[mode])
+        sections.append(
+            format_interference(
+                matrix,
+                title=(
+                    f"interference under {mode} "
+                    f"({cells_by_mode[mode]} cell(s), victim x aggressor)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)

@@ -15,15 +15,18 @@ import random
 from typing import Callable, Dict, List, Tuple
 
 from repro.allocation.policies import (
+    AllocationPolicy,
     allocate_inter_blade_pair,
     allocate_inter_chassis_pair,
     allocate_inter_group_pair,
     allocate_intra_blade_pair,
     allocate_scattered,
 )
+from repro.analysis.interference import format_interference, interference_matrix
 from repro.analysis.reporting import BOXPLOT_COLUMNS, Table, boxplot_row
 from repro.analysis.stats import summarize
 from repro.campaign.registry import scenario
+from repro.cluster import ClusterScheduler, JobTrace
 from repro.config import SimulationConfig, TopologyConfig
 from repro.core.policy import StaticRoutingPolicy
 from repro.experiments.harness import ExperimentScale, build_network, compare_policies
@@ -548,6 +551,80 @@ def run_bisection_full(
             f"({peak_flows} concurrent flows), {mode}/{noise}: "
             f"median {stats.median:.0f} cycles, s {stall_ratio:.3f}, "
             f"L {avg_latency:.1f}"
+        ),
+    }
+
+
+def _cluster_trace_jobs(scale: ExperimentScale, jobs: int) -> int:
+    """Smoke scale replays a slice of the trace; paper scale all of it."""
+    return max(16, int(jobs) // 8) if scale.name == "smoke" else int(jobs)
+
+
+def _cluster_trace_cost(scale: ExperimentScale, *, jobs, policy, mode, load) -> Dict:
+    """1056-node machine; volume scales with jobs resident at once."""
+    n_jobs = _cluster_trace_jobs(scale, jobs)
+    # Each job runs a short collective/microbench plus its isolated
+    # baseline; heavy load keeps more flows concurrently resident.
+    return {
+        "nodes": 1056,
+        "messages": 2.0 * n_jobs * 48.0,
+        "message_bytes": 4096.0,
+        "concurrent_flows": 512.0 if load == "heavy" else 128.0,
+    }
+
+
+@scenario(
+    name="cluster-trace",
+    description="multi-tenant trace replay on 1056 nodes: per-job slowdown, "
+    "fairness and workload interference (flow backend)",
+    axes={
+        "jobs": (200,),
+        "policy": ("contiguous", "round_robin_groups", "scattered"),
+        "mode": ("ADAPTIVE_3", "MIN_HASH"),
+        "load": ("light", "heavy"),
+    },
+    tags=("sweep", "flow-only", "large", "cluster"),
+    cost_hints=_cluster_trace_cost,
+)
+def run_cluster_trace(
+    scale: ExperimentScale, *, jobs: int, policy: str, mode: str, load: str
+) -> Dict:
+    """One cell of the multi-tenant replay sweep.
+
+    A seeded synthetic trace (hundreds of arrivals) replays through the
+    FIFO :class:`~repro.cluster.scheduler.ClusterScheduler` on one shared
+    1056-node flow network; every job's slowdown is measured against its
+    memoized isolated baseline, and the per-job rows feed the
+    interference-matrix report.
+    """
+    config = _large_dragonfly(scale.seed)
+    network = build_network_model(config)
+    n_jobs = _cluster_trace_jobs(scale, jobs)
+    trace = JobTrace.synthetic(scale.seed, n_jobs, load=load, max_nodes=32)
+    scheduler = ClusterScheduler(
+        network,
+        trace,
+        allocation_policy=AllocationPolicy(policy),
+        routing_mode=RoutingMode(mode),
+        name=f"ct-{policy}-{mode}-{load}",
+        baseline_factory=lambda: build_network_model(config),
+    )
+    result = scheduler.replay()
+    rows = result.job_rows()
+    matrix = interference_matrix(rows)
+    return {
+        "metrics": result.metrics(),
+        "data": {
+            "jobs": rows,
+            "trace": trace.describe(),
+            "nodes": network.num_nodes,
+            "backend": network.backend_name,
+            "interference": matrix,
+        },
+        "report": (
+            result.slowdown_table()
+            + "\n\n"
+            + format_interference(matrix)
         ),
     }
 

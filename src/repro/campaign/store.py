@@ -459,3 +459,41 @@ class ArtifactStore:
             name = entry.get("scenario", "?")
             counts[name] = counts.get(name, 0) + 1
         return dict(sorted(counts.items()))
+
+    def family_rollups(self) -> List[Dict[str, object]]:
+        """One aggregate row per scenario family, for ``campaign status``.
+
+        Each row carries the run count plus the distinct scales, backends
+        and seed count seen for that family, and total/median wall-clock
+        seconds — enough to see at a glance which families dominate a
+        store and whether a sweep covered every backend it meant to.
+        """
+        groups: Dict[str, List[Dict]] = {}
+        for entry in self._index.values():
+            groups.setdefault(str(entry.get("scenario", "?")), []).append(entry)
+        rows: List[Dict[str, object]] = []
+        for name in sorted(groups):
+            entries = groups[name]
+            elapsed = [
+                float(e["elapsed_s"])
+                for e in entries
+                if isinstance(e.get("elapsed_s"), (int, float))
+            ]
+            rows.append(
+                {
+                    "scenario": name,
+                    "runs": len(entries),
+                    "scales": sorted(
+                        {str(e["scale"]) for e in entries if e.get("scale")}
+                    ),
+                    "backends": sorted(
+                        {str(e["backend"]) for e in entries if e.get("backend")}
+                    ),
+                    "seeds": len({e.get("seed") for e in entries}),
+                    "elapsed_total_s": round(sum(elapsed), 3) if elapsed else 0.0,
+                    "elapsed_p50_s": (
+                        round(percentile(elapsed, 50), 3) if elapsed else 0.0
+                    ),
+                }
+            )
+        return rows

@@ -1,0 +1,38 @@
+"""Cluster-level multi-tenant replay.
+
+The paper's experiments study one victim job against one aggressor; this
+package replays whole *job traces* — many jobs arriving, running and
+departing concurrently on a shared Dragonfly — the setting of the workload
+interference studies in PAPERS.md.  See :mod:`repro.cluster.trace` for the
+trace model (synthetic generators and an SWF-style parser) and
+:mod:`repro.cluster.scheduler` for the FIFO scheduler with per-job
+slowdown/stretch/fairness metrics.
+"""
+
+from repro.cluster.scheduler import (
+    ClusterReplayError,
+    ClusterResult,
+    ClusterScheduler,
+    JobRecord,
+    jain_fairness,
+)
+from repro.cluster.trace import (
+    LOAD_MEAN_INTERARRIVAL,
+    WORKLOAD_NAMES,
+    JobTrace,
+    TraceError,
+    TraceJob,
+)
+
+__all__ = [
+    "ClusterReplayError",
+    "ClusterResult",
+    "ClusterScheduler",
+    "JobRecord",
+    "JobTrace",
+    "LOAD_MEAN_INTERARRIVAL",
+    "TraceError",
+    "TraceJob",
+    "WORKLOAD_NAMES",
+    "jain_fairness",
+]

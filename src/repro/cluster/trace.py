@@ -1,0 +1,295 @@
+"""Job traces for cluster-level replay.
+
+A :class:`JobTrace` is an ordered set of :class:`TraceJob` arrivals — the
+input of :class:`~repro.cluster.scheduler.ClusterScheduler`.  Two sources
+are supported:
+
+* :meth:`JobTrace.synthetic` — seeded generators with exponential
+  interarrivals, log-uniform job sizes and a workload mix, the shape of the
+  multi-tenant studies in Kang et al. (PAPERS.md);
+* :meth:`JobTrace.from_swf` — a Standard Workload Format (SWF) style parser
+  so real scheduler logs (Parallel Workloads Archive) replay on the
+  simulated machine.
+
+Times are NIC cycles (the simulator's clock).  All generation draws from a
+single seeded :class:`random.Random` in a fixed per-job order, so a trace
+is a pure function of its parameters — the campaign determinism contract
+(identical store artifacts across serial/parallel/distributed execution)
+inherits from that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.base import Workload
+from repro.workloads.microbench import (
+    ALLREDUCE_ELEMENT_BYTES,
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    BarrierBenchmark,
+    PingPongBenchmark,
+)
+
+#: Workload vocabulary a trace job may name (see :meth:`TraceJob.build_workload`).
+WORKLOAD_NAMES: Tuple[str, ...] = ("pingpong", "allreduce", "alltoall", "barrier")
+
+#: Mean interarrival (cycles) per synthetic load level.  Jobs at the
+#: default sizes run for a few tens of thousands of cycles on the flow
+#: backend, so "heavy" keeps many jobs resident while "light" is mostly
+#: one-at-a-time.
+LOAD_MEAN_INTERARRIVAL: Dict[str, int] = {
+    "light": 60_000,
+    "medium": 20_000,
+    "heavy": 6_000,
+}
+
+#: Message/input sizes (bytes) the synthetic generator samples from.
+SYNTHETIC_SIZES: Tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces or trace sources."""
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job arrival: when it shows up, how big it is, what it runs."""
+
+    job_id: int
+    #: Cycle (relative to replay start) the job is submitted.
+    submit_time: int
+    #: Nodes requested — one rank per node.
+    num_nodes: int
+    #: Workload name (see :data:`WORKLOAD_NAMES`).
+    workload: str
+    #: Measured iterations of the workload (its duration knob).
+    iterations: int = 1
+    #: Message/input size in bytes.
+    size_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise TraceError(f"job {self.job_id}: negative submit time")
+        if self.num_nodes < 2:
+            raise TraceError(
+                f"job {self.job_id}: needs >= 2 nodes (got {self.num_nodes})"
+            )
+        if self.workload not in WORKLOAD_NAMES:
+            raise TraceError(
+                f"job {self.job_id}: unknown workload {self.workload!r} "
+                f"(known: {', '.join(WORKLOAD_NAMES)})"
+            )
+        if self.iterations < 1:
+            raise TraceError(f"job {self.job_id}: iterations must be >= 1")
+        if self.size_bytes < 1:
+            raise TraceError(f"job {self.job_id}: size_bytes must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """Stable per-job label (used for RNG stream derivation)."""
+        return f"j{self.job_id:04d}-{self.workload}"
+
+    def build_workload(self) -> Workload:
+        """The concrete workload instance this job runs.
+
+        Warm-up is zero: a trace job's duration should be exactly its
+        measured work, and the isolated baseline runs the same program, so
+        slowdowns stay a like-for-like ratio.
+        """
+        if self.workload == "pingpong":
+            return PingPongBenchmark(
+                size_bytes=self.size_bytes,
+                iterations=self.iterations,
+                warmup=0,
+                pingpongs_per_iteration=2,
+            )
+        if self.workload == "allreduce":
+            return AllreduceBenchmark(
+                elements=max(1, self.size_bytes // ALLREDUCE_ELEMENT_BYTES),
+                iterations=self.iterations,
+                warmup=0,
+            )
+        if self.workload == "alltoall":
+            return AlltoallBenchmark(
+                size_bytes=self.size_bytes, iterations=self.iterations, warmup=0
+            )
+        return BarrierBenchmark(
+            barriers_per_iteration=4, iterations=self.iterations, warmup=0
+        )
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """An ordered job trace (sorted by submit time, then job id)."""
+
+    name: str
+    jobs: Tuple[TraceJob, ...]
+    #: Free-form provenance (generator parameters, SWF header, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.jobs, key=lambda job: (job.submit_time, job.job_id))
+        )
+        object.__setattr__(self, "jobs", ordered)
+        seen = set()
+        for job in ordered:
+            if job.job_id in seen:
+                raise TraceError(f"duplicate job id {job.job_id}")
+            seen.add(job.job_id)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[TraceJob]:
+        return iter(self.jobs)
+
+    def validate(self, machine_nodes: int) -> None:
+        """Fail fast when any single job can never fit the machine."""
+        for job in self.jobs:
+            if job.num_nodes > machine_nodes:
+                raise TraceError(
+                    f"job {job.job_id} wants {job.num_nodes} nodes but the "
+                    f"machine has {machine_nodes}"
+                )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        if not self.jobs:
+            return f"{self.name}: empty trace"
+        by_workload: Dict[str, int] = {}
+        for job in self.jobs:
+            by_workload[job.workload] = by_workload.get(job.workload, 0) + 1
+        mix = ", ".join(f"{k}:{v}" for k, v in sorted(by_workload.items()))
+        span = self.jobs[-1].submit_time - self.jobs[0].submit_time
+        return (
+            f"{self.name}: {len(self.jobs)} job(s) over {span} cycles "
+            f"({mix}; {min(j.num_nodes for j in self.jobs)}-"
+            f"{max(j.num_nodes for j in self.jobs)} nodes)"
+        )
+
+    # -- sources -----------------------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        seed: int,
+        num_jobs: int,
+        *,
+        load: str = "medium",
+        min_nodes: int = 2,
+        max_nodes: int = 32,
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        sizes: Sequence[int] = SYNTHETIC_SIZES,
+        name: Optional[str] = None,
+    ) -> "JobTrace":
+        """A seeded synthetic trace (Poisson-ish arrivals, log-uniform sizes).
+
+        All draws come from one ``random.Random(seed)`` in a fixed per-job
+        order, so the trace is identical across processes and platforms.
+        """
+        if num_jobs < 1:
+            raise TraceError("num_jobs must be >= 1")
+        if load not in LOAD_MEAN_INTERARRIVAL:
+            raise TraceError(
+                f"unknown load {load!r} "
+                f"(known: {', '.join(sorted(LOAD_MEAN_INTERARRIVAL))})"
+            )
+        if not 2 <= min_nodes <= max_nodes:
+            raise TraceError("need 2 <= min_nodes <= max_nodes")
+        for wl in workloads:
+            if wl not in WORKLOAD_NAMES:
+                raise TraceError(f"unknown workload {wl!r} in mix")
+        rng = Random(seed)
+        mean_gap = LOAD_MEAN_INTERARRIVAL[load]
+        lo, hi = math.log2(min_nodes), math.log2(max_nodes)
+        jobs: List[TraceJob] = []
+        clock = 0
+        for job_id in range(num_jobs):
+            clock += int(rng.expovariate(1.0 / mean_gap))
+            num_nodes = max(min_nodes, min(max_nodes, int(2 ** rng.uniform(lo, hi))))
+            jobs.append(
+                TraceJob(
+                    job_id=job_id,
+                    submit_time=clock,
+                    num_nodes=num_nodes,
+                    workload=rng.choice(list(workloads)),
+                    iterations=rng.choice((1, 1, 2)),
+                    size_bytes=rng.choice(list(sizes)),
+                )
+            )
+        return cls(
+            name=name or f"synthetic-{load}-{num_jobs}x{seed}",
+            jobs=tuple(jobs),
+            meta={
+                "source": "synthetic",
+                "seed": seed,
+                "load": load,
+                "min_nodes": min_nodes,
+                "max_nodes": max_nodes,
+            },
+        )
+
+    @classmethod
+    def from_swf(
+        cls,
+        text: str,
+        *,
+        cycles_per_second: int = 1_000,
+        max_nodes: int = 32,
+        size_bytes: int = 4096,
+        name: str = "swf",
+    ) -> "JobTrace":
+        """Parse an SWF-style log (Parallel Workloads Archive field layout).
+
+        Fields used per data line (whitespace separated, ``;`` comments):
+        1 job number, 2 submit time (s), 4 run time (s), 5 allocated
+        processors (falling back to field 8, requested processors).  Node
+        counts are clamped to ``[2, max_nodes]``, submit seconds scale by
+        ``cycles_per_second``, and run time picks the iteration count (the
+        replay's duration knob — actual runtimes are simulated, not
+        replayed verbatim).  Workloads are assigned from the job number, so
+        a parsed trace is deterministic with no RNG at all.
+        """
+        jobs: List[TraceJob] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith(";"):
+                continue
+            fields = line.split()
+            if len(fields) < 5:
+                raise TraceError(
+                    f"SWF line {lineno}: expected >= 5 fields, got {len(fields)}"
+                )
+            try:
+                job_id = int(float(fields[0]))
+                submit_s = float(fields[1])
+                run_s = float(fields[3])
+                procs = int(float(fields[4]))
+                if procs <= 0 and len(fields) > 7:
+                    procs = int(float(fields[7]))
+            except ValueError as exc:
+                raise TraceError(f"SWF line {lineno}: {exc}") from None
+            if submit_s < 0:
+                continue  # header sentinel rows use -1
+            jobs.append(
+                TraceJob(
+                    job_id=job_id,
+                    submit_time=int(submit_s * cycles_per_second),
+                    num_nodes=max(2, min(max_nodes, procs)),
+                    workload=WORKLOAD_NAMES[job_id % len(WORKLOAD_NAMES)],
+                    iterations=1 if run_s < 3600 else 2,
+                    size_bytes=size_bytes,
+                )
+            )
+        if not jobs:
+            raise TraceError("SWF text contains no job lines")
+        return cls(
+            name=name,
+            jobs=tuple(jobs),
+            meta={"source": "swf", "cycles_per_second": cycles_per_second},
+        )

@@ -326,6 +326,12 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "(p50/p95 per scenario x backend x phase; needs runs traced with "
         "'campaign run --trace')",
     )
+    status.add_argument(
+        "--interference",
+        action="store_true",
+        help="pool stored cluster-trace cells into per-routing-mode "
+        "workload interference matrices (victim x aggressor mean slowdown)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -575,9 +581,31 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
             print(table.render())
             return 0
 
+        if args.interference:
+            from repro.analysis.interference import store_interference_report
+
+            report = store_interference_report(store)
+            if report is None:
+                print(
+                    f"no cluster-trace cells in {store.root} — run the "
+                    "'cluster-trace' scenario first",
+                    file=sys.stderr,
+                )
+                return 2
+            print(report)
+            return 0
+
         print(f"store: {store.root} — {len(store)} stored run(s)")
-        for scenario_name, count in store.summary().items():
-            print(f"  {scenario_name}: {count}")
+        for rollup in store.family_rollups():
+            scales = ",".join(rollup["scales"]) or "-"
+            backends = ",".join(rollup["backends"]) or "-"
+            print(
+                f"  {rollup['scenario']}: {rollup['runs']} run(s)  "
+                f"[scale {scales}; backend {backends}; "
+                f"{rollup['seeds']} seed(s); "
+                f"{rollup['elapsed_total_s']:.1f}s total, "
+                f"p50 {rollup['elapsed_p50_s']:.1f}s]"
+            )
         rows = store.status_rows()
         if rows:
             print()

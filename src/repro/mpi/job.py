@@ -83,6 +83,10 @@ class MpiJob:
         self._active_ranks = 0
         self._finished = False
         self._failures: List[BaseException] = []
+        #: Invoked (with this job) from inside the event loop when the last
+        #: rank finishes — the hook a cluster scheduler uses to free nodes
+        #: and admit queued jobs at the exact completion cycle.
+        self.on_finished: Optional[Callable[["MpiJob"], None]] = None
         #: Per-node count of in-flight host operations (contention model).
         self._host_inflight: Dict[int, int] = defaultdict(int)
         self._msg_seq = 0
@@ -167,6 +171,11 @@ class MpiJob:
         """True once every rank's program has returned."""
         return self._finished
 
+    @property
+    def failures(self) -> List[BaseException]:
+        """Program exceptions collected so far (empty on the happy path)."""
+        return list(self._failures)
+
     def _advance(self, rank: int, generator, value) -> None:
         try:
             yielded = generator.send(value)
@@ -211,6 +220,8 @@ class MpiJob:
         if self._active_ranks == 0:
             self._finished = True
             self.sim.stop()
+            if self.on_finished is not None:
+                self.on_finished(self)
 
     # -- point-to-point engine -------------------------------------------------------
 

@@ -10,6 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.allocation.job import JobAllocation
 from repro.allocation.policies import (
     AllocationPolicy,
+    MachineFullError,
     allocate,
     allocate_contiguous,
     allocate_inter_blade_pair,
@@ -155,3 +156,92 @@ class TestMultiNodeAllocations:
         assert len(allocation) == num_nodes
         assert all(0 <= n < TOPO.num_nodes for n in allocation)
         assert len(set(allocation)) == num_nodes
+
+
+class TestOccupiedAwareAllocation:
+    """Concurrent-job view: policies must skip nodes other jobs hold."""
+
+    def test_contiguous_skips_occupied_prefix(self):
+        allocation = allocate_contiguous(TOPO, 4, occupied=range(6))
+        assert list(allocation) == [6, 7, 8, 9]
+
+    def test_contiguous_needs_a_contiguous_run(self):
+        # Every even node taken: half the machine is free but no run of 2.
+        occupied = range(0, TOPO.num_nodes, 2)
+        with pytest.raises(MachineFullError):
+            allocate_contiguous(TOPO, 2, occupied=occupied)
+
+    def test_contiguous_finds_gap_after_fragmentation(self):
+        occupied = [0, 1, 2, 5, 6]  # free run of 2 at [3, 4], big run from 7
+        allocation = allocate_contiguous(TOPO, 2, occupied=occupied)
+        assert list(allocation) == [3, 4]
+        allocation = allocate_contiguous(TOPO, 3, occupied=occupied)
+        assert list(allocation) == [7, 8, 9]
+
+    def test_round_robin_skips_occupied(self):
+        occupied = set(range(0, TOPO.num_nodes, 3))
+        allocation = allocate_round_robin_groups(TOPO, 8, occupied=occupied)
+        assert len(allocation) == 8
+        assert not set(allocation) & occupied
+
+    def test_scattered_avoids_occupied(self):
+        rng = random.Random(7)
+        occupied = set(range(20))
+        allocation = allocate_scattered(TOPO, 30, rng, occupied=occupied)
+        assert len(set(allocation)) == 30
+        assert not set(allocation) & occupied
+
+    def test_machine_full_error_reports_counts(self):
+        rng = random.Random(0)
+        occupied = range(TOPO.num_nodes - 3)
+        with pytest.raises(MachineFullError) as excinfo:
+            allocate_scattered(TOPO, 4, rng, occupied=occupied)
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # callers catching ValueError still work
+        assert err.requested == 4
+        assert err.free == 3
+        assert err.total == TOPO.num_nodes
+        assert "4 node(s)" in str(err)
+
+    def test_scattered_failure_consumes_no_rng(self):
+        # Failed admissions must not advance the allocation stream, or a
+        # queued retry would see a different machine than a fresh run.
+        rng = random.Random(42)
+        state = rng.getstate()
+        with pytest.raises(MachineFullError):
+            allocate_scattered(TOPO, 4, rng, occupied=range(TOPO.num_nodes - 1))
+        assert rng.getstate() == state
+
+    def test_occupied_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_contiguous(TOPO, 2, occupied=[TOPO.num_nodes])
+
+    def test_dispatch_forwards_occupied(self):
+        rng = random.Random(1)
+        occupied = set(range(8))
+        for policy in AllocationPolicy:
+            allocation = allocate(policy, TOPO, 8, rng=rng, occupied=occupied)
+            assert len(allocation) == 8
+            assert not set(allocation) & occupied
+
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=16),
+        occupied=st.sets(
+            st.integers(min_value=0, max_value=TOPO.num_nodes - 1), max_size=64
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_policy_double_allocates(self, num_nodes, occupied):
+        rng = random.Random(num_nodes)
+        for policy in AllocationPolicy:
+            try:
+                allocation = allocate(
+                    policy, TOPO, num_nodes, rng=rng, occupied=occupied
+                )
+            except MachineFullError:
+                assert TOPO.num_nodes - len(occupied) < num_nodes or (
+                    policy is AllocationPolicy.CONTIGUOUS
+                )
+                continue
+            assert len(set(allocation)) == num_nodes
+            assert not set(allocation) & occupied

@@ -193,6 +193,31 @@ class TestStore:
         header = path.read_text().splitlines()[0]
         assert header.startswith("hash,scenario,scale,seed,params")
 
+    def test_family_rollups_aggregate_per_scenario(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save(
+            RunSpec.make("_toy", {"x": 1, "flavor": "a"}, seed=0),
+            {"metrics": {"total": 1.0}},
+            elapsed=2.0,
+        )
+        store.save(
+            RunSpec.make("_toy", {"x": 2, "flavor": "b"}, seed=1),
+            {"metrics": {"total": 2.0}},
+            elapsed=4.0,
+        )
+        rollups = store.family_rollups()
+        assert len(rollups) == 1
+        rollup = rollups[0]
+        assert rollup["scenario"] == "_toy"
+        assert rollup["runs"] == 2
+        assert rollup["seeds"] == 2
+        assert rollup["scales"] == ["smoke"]
+        assert rollup["elapsed_total_s"] == pytest.approx(6.0)
+        assert rollup["elapsed_p50_s"] == pytest.approx(3.0)
+
+    def test_family_rollups_empty_store(self, tmp_path):
+        assert ArtifactStore(tmp_path / "store").family_rollups() == []
+
     def test_two_writers_sharing_a_store_merge_index(self, tmp_path):
         root = tmp_path / "shared"
         writer_a = ArtifactStore(root)
