@@ -1,0 +1,230 @@
+"""Probe overhead: probed vs unprobed flit-backend smoke campaign.
+
+Runs the same serial grid of flit ping-pong cells with network probes
+disabled and enabled (default interval and decision rate), and asserts the
+probed run stays within 5% of the baseline.  The measurement protocol is
+the same defensive one as ``bench_telemetry_overhead``: CPU time, runs
+interleaved in order-flipping pairs, the minimum per mode, and up to three
+attempts (noise only inflates overhead, so retries are sound while a real
+regression keeps failing).
+
+The disabled fast path is bounded separately: with probes off the only
+instrumentation cost is one ``probe_hook is not None`` check per executed
+event in the sim engines plus one ``PROBES.enabled`` check per adaptive
+routing decision.  The bench microbenchmarks that guard, counts how many
+times one grid actually hits it (executed events + decisions seen, both
+read from an instrumented run), and asserts the implied disabled-mode
+overhead is under 1% of the baseline.  A JSON artifact goes to
+``benchmarks/results/BENCH_probe_overhead.json``::
+
+    python benchmarks/bench_probe_overhead.py            # 4-cell grid
+    python benchmarks/bench_probe_overhead.py --smoke    # CI grid (2)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+if __package__ in (None, ""):  # `python benchmarks/bench_probe_overhead.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.campaign import CampaignPlan, RunSpec, ensure_builtin_scenarios, run_cell
+from repro.telemetry import disable as telemetry_disable
+from repro.telemetry import enable as telemetry_enable
+from repro.telemetry.probes import PROBES, disable_probes, enable_probes
+
+ENABLED_CEILING_PCT = 5.0
+DISABLED_CEILING_PCT = 1.0
+REPEATS = 8
+ATTEMPTS = 3
+GUARD_ITERS = 200_000
+
+
+def _bench_plan(cells: int) -> CampaignPlan:
+    """A serial flit-backend grid: distinct seeds, identical work per cell."""
+    ensure_builtin_scenarios()
+    specs = tuple(
+        RunSpec.make(
+            "pingpong-placement",
+            {"placement": "inter-groups", "message_kib": 16, "noise": "light"},
+            seed=4100 + i,
+            backend="flit",
+        )
+        for i in range(cells)
+    )
+    return CampaignPlan(name="bench-probes", specs=specs)
+
+
+def _run_grid(plan: CampaignPlan) -> float:
+    """Execute every cell serially in-process; returns CPU seconds."""
+    start = time.process_time()
+    for spec in plan.specs:
+        record = run_cell(spec)
+        assert record.ok, record.error
+    return time.process_time() - start
+
+
+def _run_mode(plan: CampaignPlan, probed: bool) -> float:
+    if probed:
+        enable_probes()
+    else:
+        disable_probes()
+    try:
+        return _run_grid(plan)
+    finally:
+        disable_probes()
+
+
+def _guard_ns() -> float:
+    """Cost of the disabled-path guard per hit.
+
+    The loop alternates the two guard shapes the hot paths use — the
+    engines' ``hook is not None`` and the router's ``PROBES.enabled`` —
+    and includes loop overhead, which overestimates the guard: the
+    conservative direction for the <1% disabled bound.
+    """
+    hook = None
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERS):
+        if hook is not None:
+            raise AssertionError("unreachable")
+        if PROBES.enabled:
+            raise AssertionError("probes must be off for the guard bench")
+    return (time.perf_counter() - start) / GUARD_ITERS * 1e9
+
+
+def _guard_checks_per_run(plan: CampaignPlan) -> int:
+    """How many disabled-path guard hits one grid performs.
+
+    The engines check ``probe_hook`` once per executed event (telemetry's
+    ``sim.events`` counter) and the router checks ``PROBES.enabled`` once
+    per adaptive decision (the recorder's ``decisions_seen``); one
+    instrumented cell measures both.
+    """
+    telemetry_enable()
+    enable_probes()
+    try:
+        record = run_cell(plan.specs[0])
+        assert record.ok and record.telemetry is not None
+        events = int(record.telemetry["counters"].get("sim.events", 0))
+        decisions = int((record.probes or {}).get("decisions_seen", 0))
+    finally:
+        disable_probes()
+        telemetry_disable()
+    return (events + decisions) * len(plan.specs)
+
+
+def _measure_once(plan: CampaignPlan, repeats: int) -> dict:
+    """One attempt: interleaved order-flipping pairs, minimum per mode."""
+    disabled_runs, enabled_runs = [], []
+    for pair in range(repeats):
+        first_probed = pair % 2 == 1
+        for probed in (first_probed, not first_probed):
+            (enabled_runs if probed else disabled_runs).append(
+                _run_mode(plan, probed)
+            )
+    baseline = min(disabled_runs)
+    probed = min(enabled_runs)
+    return {
+        "disabled_s": [round(v, 4) for v in disabled_runs],
+        "enabled_s": [round(v, 4) for v in enabled_runs],
+        "baseline_s": round(baseline, 4),
+        "probed_s": round(probed, 4),
+        "enabled_overhead_pct": round((probed / baseline - 1.0) * 100.0, 3),
+    }
+
+
+def measure_overhead(
+    cells: int, repeats: int = REPEATS, attempts: int = ATTEMPTS
+) -> dict:
+    """Time the grid unprobed and probed; returns the JSON payload."""
+    plan = _bench_plan(cells)
+    _run_grid(plan)  # warm caches/imports outside both measured modes
+
+    trials = []
+    for _ in range(attempts):
+        trials.append(_measure_once(plan, repeats))
+        if trials[-1]["enabled_overhead_pct"] <= ENABLED_CEILING_PCT:
+            break
+    best = min(trials, key=lambda t: t["enabled_overhead_pct"])
+
+    guard_ns = _guard_ns()
+    guard_checks = _guard_checks_per_run(plan)
+    disabled_pct = guard_checks * guard_ns / (best["baseline_s"] * 1e9) * 100.0
+
+    payload = {
+        "benchmark": "probe_overhead",
+        "backend": "flit",
+        "probe_interval": PROBES.interval,
+        "decision_rate": PROBES.decision_rate,
+        "grid_cells": len(plan),
+        "repeats": repeats,
+        "attempts": len(trials),
+        "trials": trials,
+        "enabled_ceiling_pct": ENABLED_CEILING_PCT,
+        "guard_ns_per_check": round(guard_ns, 2),
+        "guard_checks_per_run": guard_checks,
+        "disabled_overhead_pct": round(disabled_pct, 4),
+        "disabled_ceiling_pct": DISABLED_CEILING_PCT,
+    }
+    payload.update(best)  # the attempt the assertion runs against
+    return payload
+
+
+def check_overhead(payload: dict) -> None:
+    """Assert both overhead ceilings."""
+    assert payload["enabled_overhead_pct"] <= payload["enabled_ceiling_pct"], (
+        f"probes slow the flit campaign by {payload['enabled_overhead_pct']}% "
+        f"(ceiling: {payload['enabled_ceiling_pct']}%)"
+    )
+    assert payload["disabled_overhead_pct"] < payload["disabled_ceiling_pct"], (
+        f"disabled probe guard costs {payload['disabled_overhead_pct']}% "
+        f"(ceiling: {payload['disabled_ceiling_pct']}%)"
+    )
+
+
+def _write_json(payload: dict, results_dir: pathlib.Path) -> pathlib.Path:
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_probe_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render(payload: dict) -> str:
+    return "\n".join(
+        [
+            f"probe overhead ({payload['grid_cells']}-cell "
+            f"{payload['backend']} grid, interval {payload['probe_interval']}, "
+            f"min of {payload['repeats']} interleaved runs, "
+            f"{payload['attempts']} attempt(s))",
+            f"  unprobed: {payload['baseline_s']:.3f} s CPU",
+            f"  probed:   {payload['probed_s']:.3f} s CPU "
+            f"({payload['enabled_overhead_pct']:+.2f}%, "
+            f"ceiling {payload['enabled_ceiling_pct']:.0f}%)",
+            f"  disabled guard: {payload['guard_ns_per_check']:.0f} ns/check x "
+            f"{payload['guard_checks_per_run']} checks = "
+            f"{payload['disabled_overhead_pct']:.4f}% "
+            f"(ceiling {payload['disabled_ceiling_pct']:.0f}%)",
+        ]
+    )
+
+
+def test_probe_overhead(benchmark, results_dir):
+    """Probed-vs-unprobed grid; BENCH JSON emitted, 5%/1% bars asserted."""
+    payload = benchmark.pedantic(measure_overhead, args=(2,), rounds=1, iterations=1)
+    _write_json(payload, results_dir)
+    emit(results_dir, "probe_overhead", _render(payload))
+    check_overhead(payload)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = measure_overhead(cells=2 if smoke else 4)
+    path = _write_json(payload, RESULTS_DIR)
+    print(_render(payload))
+    print(f"wrote {path}")
+    check_overhead(payload)

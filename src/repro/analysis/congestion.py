@@ -1,0 +1,320 @@
+"""Congestion analytics over network-probe sidecars.
+
+The flight recorder (:mod:`repro.telemetry.probes`) leaves one sidecar per
+campaign cell under ``probes/<hash>.json``: per-link-class time series and
+a seeded sample of routing decisions.  This module turns a store's worth
+of sidecars into the three views the paper's congestion analysis needs:
+
+* **group-time heatmap** — mean metric value per Dragonfly group per time
+  bin, rendered as ASCII shades or CSV; the visual of where and when the
+  fabric saturates;
+* **link-rank hotspots** — series ranked by mean/peak value, the "which
+  group's global links hurt" table;
+* **phantom-congestion summary** — the fraction of sampled UGAL decisions
+  that would flip under a live (settled-credit) view of far congestion
+  versus the stale view the router actually used, plus per-job alignment
+  of occupancy with the cluster replay's interference columns.
+
+Everything here is read-only over store artifacts: probes never have to be
+re-run to re-analyze.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.reporting import Table
+
+#: Low-to-high shade ramp for ASCII heatmaps.
+SHADES = " .:-=+*#%@"
+
+#: Time-bin count of the group-time heatmap (columns).
+DEFAULT_BINS = 24
+
+
+def load_probe_frames(store) -> List[Dict]:
+    """All probe sidecars in a store, each augmented with index metadata."""
+    return list(store.iter_probe_snapshots())
+
+
+def _iter_points(
+    frames: Sequence[Mapping],
+    metric: str,
+    link_class: Optional[str] = None,
+):
+    """Yield ``(cls, group, t, v)`` for every matching series point."""
+    for frame in frames:
+        for series in frame.get("series") or []:
+            if series.get("metric") != metric:
+                continue
+            cls = str(series.get("cls", "?"))
+            if link_class is not None and cls != link_class:
+                continue
+            group = int(series.get("group", -1))
+            for t, v in zip(series.get("t") or [], series.get("v") or []):
+                yield cls, group, float(t), float(v)
+
+
+def group_time_heatmap(
+    frames: Sequence[Mapping],
+    metric: str = "occupancy",
+    link_class: Optional[str] = None,
+    bins: int = DEFAULT_BINS,
+) -> Optional[Dict]:
+    """Mean ``metric`` per (group, time bin) over every matching series.
+
+    Returns ``None`` when no series matches — callers decide whether that
+    is an error (CLI) or just an empty section (reports).  NIC series are
+    excluded unless explicitly requested: they share the schema but not
+    the "link occupancy" meaning of the fabric classes.
+    """
+    sums: Dict[int, List[List[float]]] = {}
+    t_lo: Optional[float] = None
+    t_hi: Optional[float] = None
+    points: List = []
+    for cls, group, t, v in _iter_points(frames, metric, link_class):
+        if link_class is None and cls == "nic":
+            continue
+        points.append((group, t, v))
+        t_lo = t if t_lo is None else min(t_lo, t)
+        t_hi = t if t_hi is None else max(t_hi, t)
+    if not points or t_lo is None or t_hi is None:
+        return None
+    span = max(1.0, t_hi - t_lo)
+    for group, t, v in points:
+        cells = sums.setdefault(group, [[0.0, 0.0] for _ in range(bins)])
+        index = min(bins - 1, int((t - t_lo) * bins / span))
+        cells[index][0] += v
+        cells[index][1] += 1.0
+    rows = sorted(sums)
+    matrix = [
+        [
+            round(cell[0] / cell[1], 4) if cell[1] else None
+            for cell in sums[group]
+        ]
+        for group in rows
+    ]
+    return {
+        "metric": metric,
+        "cls": link_class or "fabric",
+        "groups": rows,
+        "bins": bins,
+        "t0": t_lo,
+        "t1": t_hi,
+        "bin_cycles": round(span / bins, 1),
+        "matrix": matrix,
+    }
+
+
+def render_heatmap(heatmap: Mapping) -> str:
+    """ASCII render: one row per group, shades scaled to the matrix peak."""
+    matrix: List[List[Optional[float]]] = list(heatmap["matrix"])
+    peak = max(
+        (v for row in matrix for v in row if v is not None), default=0.0
+    )
+    lines = [
+        f"congestion heatmap — {heatmap['metric']} ({heatmap['cls']} links), "
+        f"group x time",
+        f"  cycles {heatmap['t0']:.0f}..{heatmap['t1']:.0f} in "
+        f"{heatmap['bins']} bins of ~{heatmap['bin_cycles']} cycles; "
+        f"peak {peak:.3f}",
+    ]
+    top = len(SHADES) - 1
+    for group, row in zip(heatmap["groups"], matrix):
+        cells = "".join(
+            "·" if v is None
+            else SHADES[int(round(v / peak * top))] if peak > 0
+            else SHADES[0]
+            for v in row
+        )
+        lines.append(f"  g{group:02d} |{cells}|")
+    lines.append(f"  scale: ' ' = 0 .. '@' = {peak:.3f} (· = no samples)")
+    return "\n".join(lines)
+
+
+def heatmap_csv(heatmap: Mapping) -> str:
+    """The heatmap matrix as CSV: one row per group, one column per bin."""
+    header = ["group"] + [
+        f"t{heatmap['t0'] + i * heatmap['bin_cycles']:.0f}"
+        for i in range(int(heatmap["bins"]))
+    ]
+    lines = [",".join(header)]
+    for group, row in zip(heatmap["groups"], heatmap["matrix"]):
+        lines.append(
+            ",".join(
+                [f"g{group}"]
+                + ["" if v is None else f"{v}" for v in row]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def link_rank(
+    frames: Sequence[Mapping],
+    metric: str = "occupancy",
+    top: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Series ranked hottest-first by mean value (peak breaks ties)."""
+    stats: Dict[tuple, List[float]] = {}
+    for cls, group, _t, v in _iter_points(frames, metric):
+        entry = stats.setdefault((cls, group), [0.0, 0.0, 0.0])
+        entry[0] += v
+        entry[1] += 1.0
+        entry[2] = max(entry[2], v)
+    rows = [
+        {
+            "cls": cls,
+            "group": group,
+            "mean": round(total / count, 4),
+            "peak": round(peak, 4),
+            "points": int(count),
+        }
+        for (cls, group), (total, count, peak) in stats.items()
+        if count
+    ]
+    rows.sort(key=lambda r: (-r["mean"], -r["peak"], r["cls"], r["group"]))
+    return rows[:top] if top is not None else rows
+
+
+def render_link_rank(rows: Sequence[Mapping], metric: str) -> str:
+    """Hotspot table: the hottest link classes per group."""
+    table = Table(
+        title=f"link hotspots — {metric} (hottest first)",
+        columns=["rank", "class", "group", "mean", "peak", "points"],
+    )
+    for rank, row in enumerate(rows, start=1):
+        table.add_row(
+            rank, row["cls"], f"g{row['group']}", row["mean"], row["peak"],
+            row["points"],
+        )
+    return table.render()
+
+
+def phantom_summary(frames: Sequence[Mapping]) -> Dict[str, object]:
+    """Pooled routing-audit stats: how often stale counters flip a choice.
+
+    A *flip* is a sampled UGAL decision whose winning path differs between
+    the stale counter view the router used (``credit_info_delay`` old) and
+    a live settled view at decision time — the paper's phantom-congestion
+    effect, observed directly instead of inferred from throughput.
+    """
+    seen = sampled = flips = 0
+    examples: List[Dict] = []
+    for frame in frames:
+        seen += int(frame.get("decisions_seen", 0))
+        sampled += int(frame.get("decisions_sampled", 0))
+        flips += int(frame.get("flips", 0))
+        for decision in frame.get("decisions") or []:
+            if decision.get("flip") and len(examples) < 5:
+                examples.append(
+                    {
+                        "t": decision.get("t"),
+                        "src": decision.get("src"),
+                        "dst": decision.get("dst"),
+                        "stale_minimal": decision.get("minimal"),
+                        "candidates": len(decision.get("candidates") or []),
+                    }
+                )
+    return {
+        "decisions_seen": seen,
+        "decisions_sampled": sampled,
+        "flips": flips,
+        "flip_fraction": round(flips / sampled, 4) if sampled else 0.0,
+        "examples": examples,
+    }
+
+
+def render_phantom(summary: Mapping) -> str:
+    """One-paragraph phantom-congestion readout for the CLI."""
+    lines = [
+        "phantom-congestion audit:",
+        f"  {summary['decisions_sampled']} of {summary['decisions_seen']} "
+        f"UGAL decisions sampled; {summary['flips']} "
+        f"({100.0 * summary['flip_fraction']:.1f}%) would flip under a "
+        "live credit view",
+    ]
+    for ex in summary["examples"]:
+        lines.append(
+            f"    flip @cycle {ex['t']}: router {ex['src']} -> {ex['dst']} "
+            f"(stale chose {'minimal' if ex['stale_minimal'] else 'nonminimal'}, "
+            f"{ex['candidates']} candidate(s))"
+        )
+    return "\n".join(lines)
+
+
+def job_alignment(
+    store,
+    frames: Sequence[Mapping],
+    metric: str = "occupancy",
+    scenario: str = "cluster-trace",
+) -> List[Dict[str, object]]:
+    """Align per-job slowdowns with fabric occupancy over each job's window.
+
+    For every probed ``cluster-trace`` cell, each job row (``data.jobs``,
+    the PR-9 replay columns) gets the mean of the requested fabric metric
+    over its ``[start, finish]`` residency — congestion each job actually
+    lived through, next to the slowdown it suffered.
+    """
+    index = store.index()
+    rows: List[Dict[str, object]] = []
+    for frame in frames:
+        if frame.get("scenario") != scenario:
+            continue
+        entry = index.get(str(frame.get("hash", "")))
+        if not entry or not entry.get("result"):
+            continue
+        try:
+            payload = json.loads(
+                (store.root / str(entry["result"])).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            continue
+        jobs = (payload.get("data") or {}).get("jobs")
+        if not isinstance(jobs, list):
+            continue
+        points = [
+            (t, v)
+            for cls, _group, t, v in _iter_points([frame], metric)
+            if cls != "nic"
+        ]
+        for job in jobs:
+            start, finish = job.get("start"), job.get("finish")
+            if start is None or finish is None or finish <= start:
+                continue
+            window = [v for t, v in points if start <= t <= finish]
+            rows.append(
+                {
+                    "hash": frame.get("hash", ""),
+                    "workload": str(job.get("workload", "?")),
+                    "job_id": int(job.get("job_id", -1)),
+                    "slowdown": job.get("slowdown"),
+                    f"mean_{metric}": (
+                        round(sum(window) / len(window), 4) if window else None
+                    ),
+                    "samples": len(window),
+                }
+            )
+    rows.sort(
+        key=lambda r: -(r["slowdown"] if isinstance(r["slowdown"], (int, float)) else -1.0)
+    )
+    return rows
+
+
+def render_job_alignment(rows: Sequence[Mapping], metric: str) -> str:
+    """Per-job interference table: slowdown next to lived congestion."""
+    table = Table(
+        title=f"per-job interference vs fabric {metric} (worst slowdown first)",
+        columns=["workload", "job", "slowdown", f"mean {metric}", "samples"],
+    )
+    for row in rows:
+        slowdown = row.get("slowdown")
+        mean = row.get(f"mean_{metric}")
+        table.add_row(
+            row["workload"],
+            row["job_id"],
+            f"{slowdown:.3f}" if isinstance(slowdown, (int, float)) else "-",
+            f"{mean:.3f}" if isinstance(mean, (int, float)) else "-",
+            row["samples"],
+        )
+    return table.render()

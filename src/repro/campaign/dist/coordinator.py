@@ -81,6 +81,14 @@ class DistOptions:
     #: so this is a pure performance knob, but it must reach every worker
     #: or part of the fleet silently runs slower than asked.
     sim_engine: Optional[str] = None
+    #: Enable network probes in spawned workers (same inheritance channel
+    #: as telemetry: probes activate per-process at import time, so the
+    #: request must travel through the worker environment).
+    probes: bool = False
+    #: Probe sampling interval in sim cycles (``None`` keeps the default).
+    probe_interval: Optional[int] = None
+    #: Routing-decision audit sample rate in [0, 1] (``None`` = default).
+    probe_decision_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -108,6 +116,16 @@ class DistOptions:
             raise ValueError("max_leases must be >= 1")
         if self.batch_results < 1:
             raise ValueError("batch_results must be >= 1")
+        if self.probe_interval is not None and self.probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        if self.probe_decision_rate is not None and not (
+            0.0 <= self.probe_decision_rate <= 1.0
+        ):
+            raise ValueError("probe_decision_rate must be within [0, 1]")
+        if (
+            self.probe_interval is not None or self.probe_decision_rate is not None
+        ) and not self.probes:
+            raise ValueError("probe_interval/probe_decision_rate require probes=True")
 
 
 @dataclass
@@ -300,6 +318,20 @@ class Coordinator:
             from repro.sim.engine import SIM_ENGINE_ENV_VAR
 
             env[SIM_ENGINE_ENV_VAR] = self.options.sim_engine
+        if self.options.probes:
+            from repro.telemetry.probes import (
+                PROBE_DECISION_RATE_ENV_VAR,
+                PROBE_INTERVAL_ENV_VAR,
+                PROBES_ENV_VAR,
+            )
+
+            env[PROBES_ENV_VAR] = "1"
+            if self.options.probe_interval is not None:
+                env[PROBE_INTERVAL_ENV_VAR] = str(self.options.probe_interval)
+            if self.options.probe_decision_rate is not None:
+                env[PROBE_DECISION_RATE_ENV_VAR] = str(
+                    self.options.probe_decision_rate
+                )
         # The worker runs `-m repro.experiments.cli`, so the child must be
         # able to import repro even when the parent got it from a path
         # pytest/pyproject injected into *this* process only (uninstalled
@@ -428,6 +460,7 @@ class Coordinator:
         if spec_hash not in self._outstanding:
             return  # duplicate from a revoked-but-alive lease; already merged
         telemetry = message.get("telemetry")
+        probes = message.get("probes")
         record = RunRecord(
             spec=spec,
             payload=message.get("payload"),
@@ -435,6 +468,7 @@ class Coordinator:
             elapsed_s=float(message.get("elapsed_s", 0.0)),
             error=str(message.get("error", "")),
             telemetry=telemetry if isinstance(telemetry, dict) else None,
+            probes=probes if isinstance(probes, dict) else None,
         )
         self._finish(spec_hash, record)
         if handle.lease is not None:
@@ -456,6 +490,7 @@ class Coordinator:
                 record.elapsed_s,
                 defer_index=True,
                 telemetry=record.telemetry,
+                probes=record.probes,
             )
         if self.progress is not None:
             self._reported += 1

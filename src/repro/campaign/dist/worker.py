@@ -157,6 +157,8 @@ def serve_channel(
                     result["report"] = record.report
                 if record.telemetry is not None:
                     result["telemetry"] = record.telemetry
+                if record.probes is not None:
+                    result["probes"] = record.probes
                 buffered.append(result)
                 if len(buffered) >= batch_results:
                     flush()

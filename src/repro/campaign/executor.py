@@ -37,6 +37,7 @@ from repro.campaign.registry import ScenarioError, get_scenario
 from repro.campaign.router import select_audit_pairs
 from repro.campaign.store import ArtifactStore, max_abs_rel_delta
 from repro.telemetry.core import TELEMETRY, capture, timed
+from repro.telemetry.probes import probe_capture
 
 
 @dataclass
@@ -53,6 +54,10 @@ class RunRecord:
     #: enabled for this cell; None otherwise.  Never part of the payload —
     #: payloads must stay byte-identical across runs of the same spec.
     telemetry: Optional[Dict] = None
+    #: Probe snapshot (link time series + routing-decision audit) when
+    #: network probes were enabled; None otherwise.  Same contract as
+    #: ``telemetry``: sidecar data only, never part of the payload.
+    probes: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -241,7 +246,8 @@ def execute_plan(
         records[index] = record
         if record.ok and not record.cached and store is not None:
             store.save(record.spec, record.payload, record.report,
-                       record.elapsed_s, telemetry=record.telemetry)
+                       record.elapsed_s, telemetry=record.telemetry,
+                       probes=record.probes)
         if progress is not None:
             reported += 1
             progress(reported, total, record)
@@ -321,7 +327,7 @@ def _run_audit_twin(flow_spec: RunSpec, twin: RunSpec) -> RunRecord:
     """
     from repro.campaign import ensure_builtin_scenarios
 
-    with capture() as cap:
+    with capture() as cap, probe_capture() as pcap:
         try:
             ensure_builtin_scenarios()
             scenario = get_scenario(twin.scenario)
@@ -339,6 +345,7 @@ def _run_audit_twin(flow_spec: RunSpec, twin: RunSpec) -> RunRecord:
         report=report,
         elapsed_s=t.elapsed,
         telemetry=cap.snapshot(),
+        probes=pcap.snapshot(),
     )
 
 
@@ -351,7 +358,7 @@ def run_cell(spec: RunSpec) -> RunRecord:
     outcome is identical no matter which execution substrate ran it.  Must
     stay importable at module level (pool pickling under ``spawn``).
     """
-    with capture() as cap:
+    with capture() as cap, probe_capture() as pcap:
         try:
             payload, report, elapsed = execute_spec(spec)
         except ScenarioError as exc:
@@ -373,6 +380,7 @@ def run_cell(spec: RunSpec) -> RunRecord:
         report=report,
         elapsed_s=elapsed,
         telemetry=cap.snapshot(),
+        probes=pcap.snapshot(),
     )
 
 

@@ -7,6 +7,7 @@ Layout under the store root::
     reports/<hash>.txt    # human-readable report text
     audits.json           # flow-spec hash -> audit metadata (flit twin, deltas)
     audits/<hash>.json    # flow-vs-flit audit payload, keyed by the flow hash
+    probes/<hash>.json    # network-probe sidecar (link series, sampled decisions)
 
 Result JSON is written with sorted keys and a fixed indent, so the same
 :class:`~repro.campaign.plan.RunSpec` always produces byte-identical
@@ -69,6 +70,7 @@ class ArtifactStore:
         self.results_dir = self.root / "results"
         self.reports_dir = self.root / "reports"
         self.audits_dir = self.root / "audits"
+        self.probes_dir = self.root / "probes"
         self.index_path = self.root / "index.json"
         self.audits_index_path = self.root / "audits.json"
         self.journal_path = self.root / "journal.jsonl"
@@ -140,6 +142,7 @@ class ArtifactStore:
         elapsed: Optional[float] = None,
         defer_index: bool = False,
         telemetry: Optional[Mapping] = None,
+        probes: Optional[Mapping] = None,
     ) -> pathlib.Path:
         """Persist one run's payload (and report text) and update the index.
 
@@ -153,6 +156,11 @@ class ArtifactStore:
         payload, which must stay byte-identical per spec.  The store adds
         its own artifact-write time as the ``store`` phase and surfaces the
         snapshot's simulate-only time as ``sim_s``.
+
+        ``probes`` (a snapshot from :mod:`repro.telemetry.probes`) lands as
+        a per-cell sidecar under ``probes/<hash>.json`` with a small summary
+        in the index entry — like telemetry, it is never part of the result
+        payload.
         """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.reports_dir.mkdir(parents=True, exist_ok=True)
@@ -187,6 +195,17 @@ class ArtifactStore:
             sim_s = snapshot.get("sim_s")
             if isinstance(sim_s, (int, float)):
                 entry["sim_s"] = round(float(sim_s), 6)
+        if probes is not None:
+            self.probes_dir.mkdir(parents=True, exist_ok=True)
+            probe_path = self.probe_path(spec)
+            probe_path.write_text(canonical_json(probes), encoding="utf-8")
+            entry["probes"] = str(probe_path.relative_to(self.root))
+            entry["probe_summary"] = {
+                "backend": probes.get("backend", ""),
+                "series": len(probes.get("series") or []),
+                "decisions_sampled": probes.get("decisions_sampled", 0),
+                "flips": probes.get("flips", 0),
+            }
         self._index[spec.spec_hash()] = entry
         if defer_index:
             self._append_journal(spec.spec_hash(), entry)
@@ -241,6 +260,49 @@ class ArtifactStore:
             self.journal_path.unlink()
         except FileNotFoundError:
             pass
+
+    # -- probes -----------------------------------------------------------------
+
+    def probe_path(self, spec: RunSpec) -> pathlib.Path:
+        """Where the probe sidecar for a spec lives."""
+        return self.probes_dir / f"{spec.spec_hash()}.json"
+
+    def has_probes(self, spec: RunSpec) -> bool:
+        """Whether a probe sidecar exists for this exact spec."""
+        return self.probe_path(spec).exists()
+
+    def load_probes(self, spec: RunSpec) -> Dict:
+        """Load the probe sidecar for a spec (KeyError if absent)."""
+        if not self.has_probes(spec):
+            raise KeyError(f"no stored probes for {spec.label()} ({spec.spec_hash()})")
+        return json.loads(self.probe_path(spec).read_text(encoding="utf-8"))
+
+    def iter_probe_snapshots(self) -> Iterator[Dict[str, object]]:
+        """Yield ``(index entry + snapshot)`` dicts for every probe sidecar.
+
+        Each yielded dict is the probe snapshot augmented with ``hash``,
+        ``scenario``, ``params`` and ``backend`` from the index, so
+        analysis code can attribute series to cells without re-deriving
+        spec hashes.  Sidecars whose index entry vanished (foreign file)
+        are skipped.
+        """
+        for spec_hash in sorted(self._index):
+            entry = self._index[spec_hash]
+            rel = entry.get("probes")
+            if not rel:
+                continue
+            path = self.root / str(rel)
+            if not path.exists():
+                continue
+            try:
+                snapshot = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            snapshot["hash"] = spec_hash
+            snapshot["scenario"] = entry.get("scenario", "?")
+            snapshot["params"] = entry.get("params", {})
+            snapshot["cell_backend"] = entry.get("backend", "")
+            yield snapshot
 
     # -- audits -----------------------------------------------------------------
 

@@ -253,6 +253,31 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "'repro campaign trace', aggregate with 'status --timings'); "
         "propagates to pool and distributed workers via REPRO_TELEMETRY",
     )
+    run.add_argument(
+        "--probes",
+        action="store_true",
+        help="enable the network flight recorder: per-link-class occupancy "
+        "time series and a seeded sample of UGAL routing decisions land as "
+        "probes/<hash>.json sidecars in the store (analyze with 'repro "
+        "campaign probe'); result payloads stay byte-identical; propagates "
+        "to pool and distributed workers via REPRO_PROBES",
+    )
+    run.add_argument(
+        "--probe-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="probe sampling interval in sim cycles (default: 256; "
+        "requires --probes)",
+    )
+    run.add_argument(
+        "--probe-decision-rate",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of UGAL decisions to audit, in [0, 1] "
+        "(default: 0.02; requires --probes)",
+    )
     from repro.sim.engine import SIM_ENGINE_KINDS
 
     run.add_argument(
@@ -345,6 +370,39 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="output file (default: <store>/trace.json)",
+    )
+
+    probe = sub.add_parser(
+        "probe",
+        help="analyze stored network-probe sidecars: congestion heatmaps, "
+        "link hotspot ranking, phantom-congestion audit",
+    )
+    probe.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
+    probe.add_argument(
+        "--heatmap",
+        choices=("group-time", "link-rank"),
+        default="group-time",
+        help="'group-time' renders mean metric per group per time bin; "
+        "'link-rank' ranks link-class series hottest-first (default: "
+        "group-time)",
+    )
+    probe.add_argument(
+        "--metric",
+        default="occupancy",
+        help="series metric to analyze: occupancy, queue, stalled_links, "
+        "nic_stall_ratio, nic_latency (default: occupancy)",
+    )
+    probe.add_argument(
+        "--link-class",
+        choices=("local", "global", "injection", "nic"),
+        default=None,
+        help="restrict to one link class (default: all fabric classes)",
+    )
+    probe.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="also write the group-time heatmap matrix as CSV",
     )
     return parser
 
@@ -554,6 +612,57 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         print("load it in chrome://tracing or https://ui.perfetto.dev")
         return 0
 
+    if args.command == "probe":
+        from repro.analysis import congestion
+
+        store = ArtifactStore(args.store)
+        frames = congestion.load_probe_frames(store)
+        if not frames:
+            print(
+                f"no probe sidecars in {store.root} — run campaigns with "
+                "'repro campaign run --probes' first",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"store: {store.root} — {len(frames)} probed cell(s), "
+            f"{sum(len(f.get('series') or []) for f in frames)} series"
+        )
+        print()
+        if args.heatmap == "group-time":
+            heatmap = congestion.group_time_heatmap(
+                frames, metric=args.metric, link_class=args.link_class
+            )
+            if heatmap is None:
+                print(
+                    f"no series for metric {args.metric!r}"
+                    + (f" in class {args.link_class!r}" if args.link_class else ""),
+                    file=sys.stderr,
+                )
+                return 2
+            print(congestion.render_heatmap(heatmap))
+            if args.csv is not None:
+                args.csv.parent.mkdir(parents=True, exist_ok=True)
+                args.csv.write_text(
+                    congestion.heatmap_csv(heatmap), encoding="utf-8"
+                )
+                print(f"wrote {args.csv}")
+        else:
+            rows = congestion.link_rank(frames, metric=args.metric, top=16)
+            if not rows:
+                print(f"no series for metric {args.metric!r}", file=sys.stderr)
+                return 2
+            print(congestion.render_link_rank(rows, args.metric))
+        summary = congestion.phantom_summary(frames)
+        if summary["decisions_seen"]:
+            print()
+            print(congestion.render_phantom(summary))
+        jobs = congestion.job_alignment(store, frames, metric=args.metric)
+        if jobs:
+            print()
+            print(congestion.render_job_alignment(jobs, args.metric))
+        return 0
+
     if args.command == "status":
         store = ArtifactStore(args.store)
         from repro.analysis.reporting import campaign_metrics_table
@@ -579,6 +688,19 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                     row["p50_ms"], row["p95_ms"], row["total_s"],
                 )
             print(table.render())
+            dropped = sum(
+                int(snapshot.get("events_dropped") or 0)
+                for snapshot in (
+                    entry.get("telemetry") for entry in store.index().values()
+                )
+                if isinstance(snapshot, dict)
+            )
+            if dropped:
+                print(
+                    f"events dropped: {dropped} span event(s) hit the "
+                    "tracer's per-cell cap — phase totals are exact, the "
+                    "Chrome trace is truncated for those cells"
+                )
             return 0
 
         if args.interference:
@@ -651,6 +773,16 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     audit_fraction = args.audit_fraction
     if audit_fraction is None:
         audit_fraction = 0.1 if args.backend == "auto" else 0.0
+    if args.probe_interval is not None and args.probe_interval < 1:
+        parser.error("--probe-interval must be >= 1")
+    if args.probe_decision_rate is not None and not (
+        0.0 <= args.probe_decision_rate <= 1.0
+    ):
+        parser.error("--probe-decision-rate must be within [0, 1]")
+    if (
+        args.probe_interval is not None or args.probe_decision_rate is not None
+    ) and not args.probes:
+        parser.error("--probe-interval/--probe-decision-rate require --probes")
     if args.trace:
         # Enable in this process (mutates the singleton pre-fork, so pool
         # workers inherit it) and in the environment (spawned dist workers
@@ -659,6 +791,23 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
 
         os.environ[TELEMETRY_ENV_VAR] = "1"
         telemetry_enable()
+    if args.probes:
+        # Same pre-fork + environment propagation story as --trace.
+        from repro.telemetry import (
+            PROBE_DECISION_RATE_ENV_VAR,
+            PROBE_INTERVAL_ENV_VAR,
+            PROBES_ENV_VAR,
+            enable_probes,
+        )
+
+        os.environ[PROBES_ENV_VAR] = "1"
+        if args.probe_interval is not None:
+            os.environ[PROBE_INTERVAL_ENV_VAR] = str(args.probe_interval)
+        if args.probe_decision_rate is not None:
+            os.environ[PROBE_DECISION_RATE_ENV_VAR] = str(args.probe_decision_rate)
+        enable_probes(
+            interval=args.probe_interval, decision_rate=args.probe_decision_rate
+        )
     if args.sim_engine is not None:
         # Same propagation story as --trace: the environment covers this
         # process and forked pool workers; DistOptions.sim_engine (below)
@@ -757,6 +906,9 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                 bind_port=port,
                 lease_timeout_s=args.lease_timeout,
                 sim_engine=args.sim_engine,
+                probes=args.probes,
+                probe_interval=args.probe_interval,
+                probe_decision_rate=args.probe_decision_rate,
             )
         except ValueError as exc:
             parser.error(str(exc))
@@ -816,6 +968,15 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                 f"telemetry: {traced} traced cell(s) in store — "
                 f"'repro campaign trace --store {store.root}' exports the "
                 "Chrome trace, 'repro campaign status --timings' aggregates"
+            )
+        if args.probes:
+            probed = sum(
+                1 for entry in store.index().values() if "probes" in entry
+            )
+            print(
+                f"probes: {probed} probed cell(s) in store — "
+                f"'repro campaign probe --store {store.root}' renders the "
+                "congestion heatmap and phantom-congestion audit"
             )
     return 1 if result.failed else 0
 

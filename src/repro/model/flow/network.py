@@ -52,7 +52,8 @@ from repro.routing.modes import RoutingMode
 from repro.sim.engine import Event, Simulator, make_simulator
 from repro.sim.rng import RandomStreams
 from repro.telemetry.core import TELEMETRY
-from repro.topology.dragonfly import DragonflyTopology
+from repro.telemetry.probes import PROBES, ProbeRecorder, ProbeSampler
+from repro.topology.dragonfly import DragonflyTopology, LinkKind
 from repro.topology.geometry import router_of_node
 from repro.topology.paths import Path, PathSampler
 
@@ -170,6 +171,107 @@ class _MessageFlows:
         self.path_buffer = 0.0
 
 
+class FlowLinkSampler(ProbeSampler):
+    """Fixed-interval congestion probe for the flow backend.
+
+    Emits the *same series schema* as the flit backend's
+    :class:`repro.network.network.FlitLinkSampler` — ``occupancy`` and
+    ``stalled_links`` per link class (local/global/injection) per group,
+    plus the NIC counter surface (``nic_stall_ratio``/``nic_latency``)
+    per group — so flow and flit congestion traces are directly
+    comparable.  "Occupancy" here is the backend's own congestion signal:
+    the per-link overload estimate (:meth:`FlowNetwork._overload_flits`,
+    in flits), averaged over every link of the class, and
+    ``stalled_links`` counts links whose demand exceeds capacity.
+    """
+
+    __slots__ = ("_net", "_key_bucket", "_totals", "_nic_buckets")
+
+    def __init__(self, recorder: ProbeRecorder, network: "FlowNetwork"):
+        super().__init__(recorder)
+        recorder.backend = "flow"
+        self._net = network
+        #: demand key -> (cls, group), or None for unclassified (ejection).
+        self._key_bucket: Dict[object, Optional[Tuple[str, int]]] = {}
+        # Class sizes, so means are over *all* links of a class (matching
+        # the flit sampler) rather than only the currently loaded ones.
+        topology = network.topology
+        group_of = topology.group_of_router
+        totals: Dict[Tuple[str, int], int] = {}
+        for link_id in topology.all_links():
+            cls = "global" if link_id.kind == LinkKind.BLUE else "local"
+            key = (cls, group_of[link_id.src])
+            totals[key] = totals.get(key, 0) + 1
+        for nic in network.nics:
+            key = ("injection", group_of[nic.router_id])
+            totals[key] = totals.get(key, 0) + 1
+        self._totals = sorted(totals.items())
+        nic_buckets: Dict[int, list] = {}
+        for nic in network.nics:
+            nic_buckets.setdefault(group_of[nic.router_id], []).append(nic)
+        self._nic_buckets = sorted(nic_buckets.items())
+
+    def _bucket_of(self, key) -> Optional[Tuple[str, int]]:
+        bucket = self._key_bucket.get(key, False)
+        if bucket is not False:
+            return bucket
+        net = self._net
+        group_of = net.topology.group_of_router
+        if key[0] == "host":
+            if key[1] == "inj":
+                nic = net.nics[key[2]]
+                bucket = ("injection", group_of[nic.router_id])
+            else:  # ejection links have no flit-side series; skip them.
+                bucket = None
+        else:
+            _, src, dst = key
+            kind = net.topology.link_kind(src, dst)
+            cls = "global" if kind == LinkKind.BLUE else "local"
+            bucket = (cls, group_of[src])
+        self._key_bucket[key] = bucket
+        return bucket
+
+    def collect(self, now: int) -> None:
+        net = self._net
+        recorder = self.recorder
+        overload_of = net._overload_flits
+        sums: Dict[Tuple[str, int], List[float]] = {}
+        for key in net._link_demand:
+            bucket = self._bucket_of(key)
+            if bucket is None:
+                continue
+            overload = overload_of(key)
+            acc = sums.get(bucket)
+            if acc is None:
+                sums[bucket] = [overload, 1.0 if overload > 0.0 else 0.0]
+            else:
+                acc[0] += overload
+                if overload > 0.0:
+                    acc[1] += 1.0
+        for (cls, group), total in self._totals:
+            acc = sums.get((cls, group))
+            overload_sum, stalled = (0.0, 0.0) if acc is None else acc
+            recorder.series_for("occupancy", cls, group).add(
+                now, overload_sum / total
+            )
+            recorder.series_for("stalled_links", cls, group).add(now, stalled)
+        for group, nics in self._nic_buckets:
+            flits = stalled_cycles = responses = 0
+            cum_latency = 0.0
+            for nic in nics:
+                counters = nic.counters
+                flits += counters.request_flits
+                stalled_cycles += counters.request_flits_stalled_cycles
+                cum_latency += counters.request_packets_cum_latency
+                responses += counters.responses_received
+            stall_ratio = stalled_cycles / flits if flits else 0.0
+            latency = cum_latency / responses if responses else 0.0
+            recorder.series_for("nic_stall_ratio", "nic", group).add(
+                now, stall_ratio
+            )
+            recorder.series_for("nic_latency", "nic", group).add(now, latency)
+
+
 class FlowNetwork(NetworkModel):
     """A Dragonfly system resolved at flow granularity."""
 
@@ -220,6 +322,12 @@ class FlowNetwork(NetworkModel):
 
         #: Injection nominal rate: one flit per ``cycles_per_flit`` host cycles.
         self._inj_rate = 1.0 / topo_cfg.cycles_per_flit
+
+        # Probe hook (see repro.telemetry.probes): polled by the event
+        # engine at time advances, schedules nothing, so enabling probes
+        # cannot change the resolved flows or any payload.
+        if PROBES.enabled and PROBES.recorder is not None:
+            self.sim.probe_hook = FlowLinkSampler(PROBES.recorder, self)
 
     # -- link capacities ---------------------------------------------------------
 

@@ -194,6 +194,24 @@ class Link:
         """Congestion visible instantly on the upstream side: queued flits."""
         return float(self.queue_flits)
 
+    def occupancy_view(self, now: int) -> int:
+        """Occupancy counting credits arrived by ``now`` — without mutating.
+
+        The probe/audit read: :attr:`occupancy` settles in-flight credit
+        batches as a side effect, which is harmless for readers that always
+        settle first but would perturb the *unsettled* ``credits`` value the
+        zero-delay routing probe reads (:meth:`UgalSelector._path_score`
+        with ``credit_info_delay <= 0``).  This view folds due batches in
+        arithmetically, leaving ``credits``/``_credit_arrivals`` untouched,
+        so observers cannot change any routing decision.
+        """
+        credits = self.credits
+        for batch in self._credit_arrivals:
+            if batch[0] > now:
+                break
+            credits += batch[1]
+        return self.capacity - credits
+
     def far_congestion(self, delay: int) -> float:
         """Downstream occupancy as it was ``delay`` cycles ago.
 

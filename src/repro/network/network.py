@@ -27,8 +27,77 @@ from repro.routing.ugal import BatchUgalSelector, UgalSelector
 from repro.sim.engine import Simulator, make_simulator
 from repro.sim.rng import RandomStreams
 from repro.telemetry.core import TELEMETRY
+from repro.telemetry.probes import PROBES, ProbeRecorder, ProbeSampler
 from repro.topology.dragonfly import DragonflyTopology, LinkKind
 from repro.topology.geometry import router_of_node
+
+
+class FlitLinkSampler(ProbeSampler):
+    """Fixed-interval link/NIC probe for the flit backend (all engines).
+
+    Polled via the simulator's ``probe_hook`` slot, so it works identically
+    under the reference, calendar and batch engines.  It only *reads* link
+    state — through :meth:`Link.occupancy_view`, which never settles
+    credits — and never schedules events, keeping traced and untraced
+    event streams (and payloads) byte-identical.
+
+    Series schema (shared verbatim with the flow backend's sampler):
+    ``occupancy``/``queue``/``stalled_links`` per link class
+    (local/global/injection) per group, plus the paper's NIC counter
+    surface — ``nic_stall_ratio`` (s) and ``nic_latency`` (L) — per group.
+    """
+
+    __slots__ = ("_link_buckets", "_nic_buckets")
+
+    def __init__(self, recorder: ProbeRecorder, network: "Network"):
+        super().__init__(recorder)
+        recorder.backend = "flit"
+        topology = network.topology
+        group_of = topology.group_of_router
+        link_buckets: Dict[Tuple[str, int], list] = {}
+        for (src, dst), link in network._links.items():
+            kind = topology.link_kind(src, dst)
+            cls = "global" if kind == LinkKind.BLUE else "local"
+            link_buckets.setdefault((cls, group_of[src]), []).append(link)
+        for node, link in enumerate(network._injection_links):
+            group = group_of[network._router_of_node[node]]
+            link_buckets.setdefault(("injection", group), []).append(link)
+        self._link_buckets = sorted(link_buckets.items())
+        nic_buckets: Dict[int, list] = {}
+        for nic in network.nics:
+            nic_buckets.setdefault(group_of[nic.router_id], []).append(nic)
+        self._nic_buckets = sorted(nic_buckets.items())
+
+    def collect(self, now: int) -> None:
+        recorder = self.recorder
+        for (cls, group), links in self._link_buckets:
+            occupancy = 0
+            queued = 0
+            stalled = 0
+            for link in links:
+                occupancy += link.occupancy_view(now)
+                queued += link.queue_flits
+                if link._stalled_since is not None:
+                    stalled += 1
+            n = len(links)
+            recorder.series_for("occupancy", cls, group).add(now, occupancy / n)
+            recorder.series_for("queue", cls, group).add(now, queued / n)
+            recorder.series_for("stalled_links", cls, group).add(now, stalled)
+        for group, nics in self._nic_buckets:
+            flits = stalled_cycles = responses = 0
+            cum_latency = 0.0
+            for nic in nics:
+                counters = nic.counters
+                flits += counters.request_flits
+                stalled_cycles += counters.request_flits_stalled_cycles
+                cum_latency += counters.request_packets_cum_latency
+                responses += counters.responses_received
+            stall_ratio = stalled_cycles / flits if flits else 0.0
+            latency = cum_latency / responses if responses else 0.0
+            recorder.series_for("nic_stall_ratio", "nic", group).add(
+                now, stall_ratio
+            )
+            recorder.series_for("nic_latency", "nic", group).add(now, latency)
 
 
 class Network(NetworkModel):
@@ -95,6 +164,12 @@ class Network(NetworkModel):
         ]
         #: Messages completed (delivered), for experiment bookkeeping.
         self.delivered_messages: int = 0
+
+        # Install the link probe last so it sees the fully wired system.
+        # When probes are off the hook stays None and the engines pay one
+        # ``is not None`` check per event (reference) or bucket (calendar).
+        if PROBES.enabled and PROBES.recorder is not None:
+            self.sim.probe_hook = FlitLinkSampler(PROBES.recorder, self)
 
     # -- construction --------------------------------------------------------
 

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.config import RoutingConfig
 from repro.routing.bias import bias_for_mode
 from repro.routing.modes import RoutingMode
+from repro.telemetry.probes import PROBES
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.paths import PathSampler, hop_count_minimal
 
@@ -145,6 +146,12 @@ class UgalSelector:
             return self._record(PathDecision(path, False, self._path_score(path), 1))
         if not mode.is_adaptive:
             raise ValueError(f"unsupported routing mode {mode}")
+        if PROBES.enabled:
+            recorder = PROBES.recorder
+            if recorder is not None and recorder.want_decision():
+                return self._record(
+                    self._select_audited(src_router, dst_router, mode, recorder)
+                )
         return self._record(self._select_adaptive(src_router, dst_router, mode))
 
     def _bias_for(self, mode: RoutingMode, src_router: int, dst_router: int) -> float:
@@ -203,6 +210,116 @@ class UgalSelector:
             considered += 1
         assert best_path is not None
         return PathDecision(best_path, best_minimal, best_score, considered)
+
+    # -- decision audit ----------------------------------------------------------
+
+    def _select_audited(
+        self, src_router: int, dst_router: int, mode: RoutingMode, recorder
+    ) -> PathDecision:
+        """An adaptive decision that also records its full audit trail.
+
+        Decision-identical to :meth:`_select_adaptive`: candidates are
+        sampled up front, which consumes the RNG in the same order as the
+        interleaved scalar loop (scoring draws nothing), the stale scores
+        use the exact :meth:`_path_score` arithmetic and congestion reads,
+        and the minimal-first strictly-better tie-break is reproduced.  On
+        top of that, every candidate is re-scored under the *live* credit
+        view (:meth:`repro.network.link.Link.occupancy_view` — a pure
+        read), flagging decisions that would flip without the
+        ``credit_info_delay`` staleness: the phantom-congestion signal.
+        """
+        cfg = self.config
+        bias = self._bias_for(mode, src_router, dst_router)
+        sampler = self.sampler
+        minimal_paths = [
+            sampler.minimal(src_router, dst_router)
+            for _ in range(cfg.minimal_candidates)
+        ]
+        nonminimal_paths = [
+            sampler.nonminimal(src_router, dst_router)
+            for _ in range(cfg.nonminimal_candidates)
+        ]
+        paths = minimal_paths + nonminimal_paths
+        n_min = len(minimal_paths)
+        penalty = cfg.nonminimal_penalty
+        far_weight = self._far_weight
+        delay = self._info_delay
+        links = self.links
+        probe = self.link_probe
+        now = 0
+        candidates = []
+        best_idx = -1
+        best_score = 0.0
+        best_minimal = True
+        live_idx = -1
+        live_best = 0.0
+        for i, path in enumerate(paths):
+            minimal = i < n_min
+            hops = len(path) - 1
+            queue = 0
+            far_stale = 0.0
+            far_live = 0.0
+            if hops <= 0:
+                score = 0.0
+                live = 0.0
+            else:
+                if links is not None:
+                    link = links[(path[0], path[1])]
+                elif probe is not None:
+                    link = probe(path[0], path[1])
+                else:
+                    link = None
+                if link is None:
+                    score = float(hops)
+                    live = score
+                else:
+                    now = link.sim._now
+                    # Stale view first, computed exactly as _path_score
+                    # would (including its mutations — which the unaudited
+                    # decision would have performed identically); the live
+                    # view after it is a pure read.
+                    if delay <= 0:
+                        far_stale = float(link.capacity - link.credits)
+                    else:
+                        far_stale = link.far_congestion(delay)
+                    far_live = float(link.occupancy_view(now))
+                    queue = link.queue_flits
+                    score = (queue + far_weight * far_stale) * hops + hops
+                    live = (queue + far_weight * far_live) * hops + hops
+            if not minimal:
+                score = score * penalty + bias
+                live = live * penalty + bias
+            if best_idx < 0 or score < best_score:
+                best_idx = i
+                best_score = score
+                best_minimal = minimal
+            if live_idx < 0 or live < live_best:
+                live_idx = i
+                live_best = live
+            candidates.append({
+                "path": list(path),
+                "minimal": minimal,
+                "queue": queue,
+                "far_stale": round(far_stale, 3),
+                "far_live": round(far_live, 3),
+                "score": round(score, 3),
+                "score_live": round(live, 3),
+            })
+        flip = paths[best_idx] != paths[live_idx]
+        recorder.record_decision({
+            "t": now,
+            "src": src_router,
+            "dst": dst_router,
+            "mode": mode.name,
+            "bias": bias,
+            "penalty": penalty,
+            "chosen": best_idx,
+            "minimal": best_minimal,
+            "live_choice": live_idx,
+            "flip": flip,
+            "candidates": candidates,
+        })
+        return PathDecision(paths[best_idx], best_minimal, best_score, len(paths))
 
     # -- batch scoring entry point ----------------------------------------------
 
@@ -358,6 +475,21 @@ class BatchUgalSelector(UgalSelector):
             or self.links is None
         ):
             return super().select(src_router, dst_router, mode)
+        if PROBES.enabled:
+            recorder = PROBES.recorder
+            if recorder is not None and recorder.want_decision():
+                # The audited scalar path reuses far_congestion(), which the
+                # fused loops inline bit-identically, so routing one sampled
+                # decision through it cannot change the decision stream.
+                decision = self._select_audited(
+                    src_router, dst_router, mode, recorder
+                )
+                self.decisions += 1
+                if decision.minimal:
+                    self.minimal_decisions += 1
+                else:
+                    self.nonminimal_decisions += 1
+                return decision
         cfg = self.config
         minimal_candidates = cfg.minimal_candidates
         nonminimal_candidates = cfg.nonminimal_candidates

@@ -106,6 +106,10 @@ class Simulator:
         self._running: bool = False
         self._live_events: int = 0
         self._stop_requested: bool = False
+        #: Optional fixed-interval sampler (``repro.telemetry.probes``):
+        #: polled at time-advance boundaries via ``now >= next_due``,
+        #: never scheduled as an event, so the event stream is untouched.
+        self.probe_hook: Optional[Any] = None
 
     # -- inspection ---------------------------------------------------------
 
@@ -201,6 +205,9 @@ class Simulator:
             entry[2] = None
             entry[3] = ()
             self._now = entry[0]
+            hook = self.probe_hook
+            if hook is not None and entry[0] >= hook.next_due:
+                hook.sample(entry[0])
             self._events_executed += 1
             self._live_events -= 1
             fn(*args)
@@ -238,6 +245,7 @@ class Simulator:
         self._stop_requested = False
         executed = 0
         queue = self._queue
+        hook = self.probe_hook
         try:
             while queue:
                 entry = queue[0]
@@ -253,6 +261,8 @@ class Simulator:
                 entry[2] = None  # see step(): protects against cancel-after-run
                 entry[3] = ()
                 self._now = entry[0]
+                if hook is not None and entry[0] >= hook.next_due:
+                    hook.sample(entry[0])
                 self._events_executed += 1
                 self._live_events -= 1
                 executed += 1

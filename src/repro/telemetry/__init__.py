@@ -36,25 +36,55 @@ from repro.telemetry.log import (
     log_event,
     reset_logging,
 )
+from repro.telemetry.probes import (
+    PROBE_DECISION_RATE_ENV_VAR,
+    PROBE_INTERVAL_ENV_VAR,
+    PROBES,
+    PROBES_ENV_VAR,
+    ProbeRecorder,
+    ProbeSampler,
+    Probes,
+    RingSeries,
+    disable_probes,
+    enable_probes,
+    env_decision_rate,
+    env_probe_interval,
+    env_probes_enabled,
+    probe_capture,
+)
 
 __all__ = [
     "LOG_FORMAT_ENV_VAR",
     "LOG_LEVEL_ENV_VAR",
     "MAX_EVENTS",
     "NULL_SPAN",
+    "PROBES",
+    "PROBES_ENV_VAR",
+    "PROBE_DECISION_RATE_ENV_VAR",
+    "PROBE_INTERVAL_ENV_VAR",
     "TELEMETRY",
     "TELEMETRY_ENV_VAR",
     "Metrics",
+    "ProbeRecorder",
+    "ProbeSampler",
+    "Probes",
+    "RingSeries",
     "Span",
     "Telemetry",
     "Tracer",
     "capture",
     "disable",
+    "disable_probes",
     "enable",
+    "enable_probes",
+    "env_decision_rate",
     "env_enabled",
+    "env_probe_interval",
+    "env_probes_enabled",
     "get_logger",
     "log_event",
     "reset_logging",
+    "probe_capture",
     "snapshot_of",
     "timed",
 ]

@@ -270,7 +270,7 @@ def snapshot_of(tracer: Tracer, metrics: Metrics) -> Dict[str, Any]:
          "phases": {phase-name: total_s},      # cat == "phase" spans
          "spans": {name: {count, total_s, max_s}},
          "events": [{name, cat, ts, dur, args}, ...],
-         "dropped": n,
+         "dropped": n, "events_dropped": n,   # tracer cap (MAX_EVENTS) hits
          "counters": {...}, "gauges": {...},
          "histograms": {name: {count, total, min, max, samples}},
          "sim_s": <total seconds inside backend run spans>}
@@ -293,6 +293,10 @@ def snapshot_of(tracer: Tracer, metrics: Metrics) -> Dict[str, Any]:
         "spans": spans,
         "events": tracer.events,
         "dropped": tracer.dropped,
+        # The explicit alias status tables report: span events lost to the
+        # per-capture MAX_EVENTS cap (aggregates and phase totals are exact
+        # regardless — only the event *list* truncates).
+        "events_dropped": tracer.dropped,
         "counters": dict(metrics.counters),
         "gauges": dict(metrics.gauges),
         "histograms": {k: dict(v) for k, v in metrics.histograms.items()},

@@ -24,6 +24,9 @@ CELLS_PID = 1
 #: pid used for distributed-session lifecycle rows.
 DIST_PID = 2
 
+#: pid used for network-probe counter tracks ("C" events on sim-cycle time).
+PROBES_PID = 3
+
 
 def _metadata(pid: int, tid: int, name: str, kind: str) -> Dict:
     return {
@@ -70,6 +73,54 @@ def cell_events(spec_hash: str, entry: Mapping, tid: int) -> List[Dict]:
             }
         )
     return out
+
+
+def probe_counter_events(snapshot: Mapping, tid: int) -> List[Dict]:
+    """Chrome counter ("C") tracks for one probe sidecar's series.
+
+    Probe series live on *simulation-cycle* time, not wall-clock — they get
+    their own process row (pid 3) so the cycle axis never mixes with the
+    wall-clock spans of pids 1/2.  One thread per probed cell; one counter
+    track per (metric, link class), with per-group values as args keys, so
+    Perfetto renders each group as a stacked band.
+    """
+    series = snapshot.get("series")
+    if not isinstance(series, list):
+        return []
+    label = (
+        f"{snapshot.get('scenario', '?')}/{snapshot.get('backend', '?')} "
+        f"{str(snapshot.get('hash', ''))[:8]}"
+    )
+    out: List[Dict] = []
+    for entry in series:
+        if not isinstance(entry, Mapping):
+            continue
+        name = f"{entry.get('metric', '?')} [{entry.get('cls', '?')}]"
+        group_key = f"g{entry.get('group', '?')}"
+        times = entry.get("t")
+        values = entry.get("v")
+        if not isinstance(times, list) or not isinstance(values, list):
+            continue
+        for t, v in zip(times, values):
+            try:
+                ts = float(t)
+                value = float(v)
+            except (TypeError, ValueError):
+                continue
+            out.append(
+                {
+                    "name": name,
+                    "cat": "probe",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": PROBES_PID,
+                    "tid": tid,
+                    "args": {group_key: value},
+                }
+            )
+    if not out:
+        return []
+    return [_metadata(PROBES_PID, tid, label, "thread_name")] + out
 
 
 def session_events(session: Mapping, tid_of: Dict[str, int]) -> List[Dict]:
@@ -153,6 +204,18 @@ def chrome_trace(store: ArtifactStore) -> Dict:
     worker_tids: Dict[str, int] = {}
     for session in store.load_session_telemetry():
         events.extend(session_events(session, worker_tids))
+    probe_tid = 0
+    probe_events: List[Dict] = []
+    for snapshot in store.iter_probe_snapshots():
+        cell = probe_counter_events(snapshot, probe_tid + 1)
+        if cell:
+            probe_tid += 1
+            probe_events.extend(cell)
+    if probe_events:
+        events.append(
+            _metadata(PROBES_PID, 0, "network probes (sim cycles)", "process_name")
+        )
+        events.extend(probe_events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -169,7 +232,8 @@ def validate_trace(trace: Mapping) -> List[str]:
 
     Checks the subset of the ``trace_event`` format we emit: a
     ``traceEvents`` list whose members carry ``name``/``ph``/``pid``/``tid``,
-    with non-negative numeric ``ts``/``dur`` on complete ("X") events.
+    with non-negative numeric ``ts``/``dur`` on complete ("X") events and a
+    non-negative ``ts`` plus args mapping on counter ("C") events.
     """
     problems: List[str] = []
     events = trace.get("traceEvents")
@@ -191,6 +255,12 @@ def validate_trace(trace: Mapping) -> List[str]:
         elif ph == "M":
             if not isinstance(ev.get("args"), Mapping):
                 problems.append(f"event {i}: metadata without args")
+        elif ph == "C":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad 'ts' ({ts!r})")
+            if not isinstance(ev.get("args"), Mapping):
+                problems.append(f"event {i}: counter without args")
     return problems
 
 
